@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses.
+ *
+ * Scale knobs default to values that keep every bench comfortably
+ * runnable on a laptop; set GEO_BENCH_FULL=1 in the environment to run
+ * at the paper's scale (12,000-entry training windows, 200 epochs,
+ * hundreds of workload runs).
+ */
+
+#ifndef GEO_BENCH_COMMON_HH
+#define GEO_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace geo {
+namespace bench {
+
+/** True when GEO_BENCH_FULL=1: run at the paper's full scale. */
+inline bool
+fullScale()
+{
+    const char *env = std::getenv("GEO_BENCH_FULL");
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** Integer knob with reduced/full defaults and an env override. */
+inline size_t
+knob(const char *env_name, size_t reduced, size_t full)
+{
+    if (const char *env = std::getenv(env_name))
+        return static_cast<size_t>(std::stoull(env));
+    return fullScale() ? full : reduced;
+}
+
+/** Print the standard bench header. */
+inline void
+header(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "=== Geomancy reproduction: " << what << " ===\n";
+    std::cout << "Paper reference: " << paper_ref << "\n";
+    std::cout << "Scale: " << (fullScale() ? "FULL (paper)" : "reduced")
+              << "  (set GEO_BENCH_FULL=1 for paper scale)\n\n";
+}
+
+/** Format bytes/s as GB/s with 2 decimals. */
+inline std::string
+gbps(double bytes_per_second)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", bytes_per_second / 1e9);
+    return buf;
+}
+
+} // namespace bench
+} // namespace geo
+
+#endif // GEO_BENCH_COMMON_HH

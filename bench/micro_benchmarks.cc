@@ -1,0 +1,227 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the overhead claims of
+ * Sections V-E and VIII: neural-network training/prediction cost per
+ * layer type and feature width, ReplayDB insert/query throughput,
+ * storage-simulator access cost, path encoding and smoothing.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/interface_daemon.hh"
+#include "core/replay_db.hh"
+#include "nn/model_zoo.hh"
+#include "storage/bluesky.hh"
+#include "trace/eos_trace_gen.hh"
+#include "trace/path_encoder.hh"
+#include "util/logging.hh"
+#include "util/smoothing.hh"
+
+namespace geo {
+namespace {
+
+// --- Neural network -----------------------------------------------------
+
+/** Forward pass of Table I model `number` (arg 0) at batch 64. */
+void
+BM_ModelPredict(benchmark::State &state)
+{
+    int number = static_cast<int>(state.range(0));
+    Rng rng(1);
+    nn::Sequential model = nn::buildModel(number, 6, rng);
+    nn::Matrix inputs(64, model.inputSize());
+    inputs.fillNormal(rng, 0.3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.predict(inputs));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ModelPredict)->Arg(1)->Arg(6)->Arg(12)->Arg(18);
+
+/** Single candidate-batch prediction: one row per Bluesky mount. */
+void
+BM_CandidateScoring(benchmark::State &state)
+{
+    Rng rng(2);
+    nn::Sequential model = nn::buildModel(1, 6, rng);
+    nn::Matrix inputs(6, 6); // 6 candidate locations
+    inputs.fillNormal(rng, 0.3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.predict(inputs));
+}
+BENCHMARK(BM_CandidateScoring);
+
+/** One SGD training step of model 1 at batch 64. */
+void
+BM_ModelTrainStep(benchmark::State &state)
+{
+    Rng rng(3);
+    nn::Sequential model = nn::buildModel(1, 6, rng);
+    nn::Matrix inputs(64, 6);
+    inputs.fillNormal(rng, 0.3);
+    nn::Matrix targets(64, 1, 0.5);
+    nn::SgdOptimizer opt(0.01);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.trainBatch(inputs, targets, opt));
+}
+BENCHMARK(BM_ModelTrainStep);
+
+/** Full-epoch cost scaling with feature width Z (arg 0). */
+void
+BM_TrainEpochByZ(benchmark::State &state)
+{
+    size_t z = static_cast<size_t>(state.range(0));
+    Rng rng(4);
+    nn::Sequential model = nn::buildModel(1, z, rng);
+    nn::Dataset data;
+    data.inputs = nn::Matrix(512, z);
+    data.inputs.fillNormal(rng, 0.3);
+    data.targets = nn::Matrix(512, 1, 0.5);
+    nn::SgdOptimizer opt(0.01);
+    nn::TrainOptions options;
+    options.epochs = 1;
+    options.batchSize = 64;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.train(data, {}, opt, options));
+}
+BENCHMARK(BM_TrainEpochByZ)->Arg(6)->Arg(13);
+
+// --- ReplayDB ------------------------------------------------------------
+
+core::PerfRecord
+sampleRecord(uint64_t i)
+{
+    core::PerfRecord rec;
+    rec.file = i % 24;
+    rec.device = static_cast<storage::DeviceId>(i % 6);
+    rec.rb = 1000000;
+    rec.ots = static_cast<int64_t>(i);
+    rec.cts = static_cast<int64_t>(i) + 1;
+    rec.throughput = 1e9;
+    return rec;
+}
+
+void
+BM_ReplayDbInsert(benchmark::State &state)
+{
+    core::ReplayDb db;
+    uint64_t i = 0;
+    for (auto _ : state)
+        db.insertAccess(sampleRecord(i++));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReplayDbInsert);
+
+void
+BM_ReplayDbBatchInsert(benchmark::State &state)
+{
+    core::ReplayDb db;
+    std::vector<core::PerfRecord> batch;
+    for (uint64_t i = 0; i < 32; ++i)
+        batch.push_back(sampleRecord(i));
+    for (auto _ : state)
+        db.insertAccesses(batch);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_ReplayDbBatchInsert);
+
+void
+BM_ReplayDbWindowQuery(benchmark::State &state)
+{
+    core::ReplayDb db;
+    std::vector<core::PerfRecord> batch;
+    for (uint64_t i = 0; i < 20000; ++i)
+        batch.push_back(sampleRecord(i));
+    db.insertAccesses(batch);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(db.recentAccessesForDevice(2, 2000));
+}
+BENCHMARK(BM_ReplayDbWindowQuery);
+
+/** Full training-batch preparation (the Interface Daemon pipeline). */
+void
+BM_TrainingBatchBuild(benchmark::State &state)
+{
+    core::ReplayDb db;
+    core::InterfaceDaemon daemon(db);
+    std::vector<core::PerfRecord> batch;
+    for (uint64_t i = 0; i < 12000; ++i)
+        batch.push_back(sampleRecord(i));
+    db.insertAccesses(batch);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            daemon.buildTrainingBatch({0, 1, 2, 3, 4, 5}));
+}
+BENCHMARK(BM_TrainingBatchBuild);
+
+// --- Storage simulator ----------------------------------------------------
+
+void
+BM_StorageAccess(benchmark::State &state)
+{
+    auto system = storage::makeBlueskySystem();
+    storage::FileId file = system->addFile("f", 100 << 20, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(system->access(file, 10 << 20, true));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StorageAccess);
+
+void
+BM_StorageMigration(benchmark::State &state)
+{
+    auto system = storage::makeBlueskySystem();
+    storage::FileId file = system->addFile("f", 100 << 20, 0);
+    storage::DeviceId target = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(system->moveFile(file, target));
+        target = target == 1 ? 2 : 1;
+    }
+}
+BENCHMARK(BM_StorageMigration);
+
+// --- Trace utilities --------------------------------------------------------
+
+void
+BM_PathEncode(benchmark::State &state)
+{
+    trace::PathEncoder encoder;
+    std::vector<std::string> paths;
+    for (int i = 0; i < 256; ++i)
+        paths.push_back(strprintf("eos/pool%d/run%03d/data%05d.root",
+                                  i % 4, i % 24, i));
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(encoder.encode(paths[i % paths.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PathEncode);
+
+void
+BM_EosTraceGeneration(benchmark::State &state)
+{
+    trace::EosTraceGenerator gen({});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.generate(1000));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            1000);
+}
+BENCHMARK(BM_EosTraceGeneration);
+
+void
+BM_MovingAverage(benchmark::State &state)
+{
+    std::vector<double> series(12000);
+    Rng rng(5);
+    for (double &v : series)
+        v = rng.uniform();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(movingAverage(series, 8));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            12000);
+}
+BENCHMARK(BM_MovingAverage);
+
+} // namespace
+} // namespace geo

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Offline trace analysis, the paper's Section V-D/V-E pipeline:
+ * generate (or load) an EOS-style access trace, screen features by
+ * correlation with throughput, train a throughput model on the chosen
+ * features, and checkpoint the trained weights.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/trace_analysis [trace.csv]
+ *
+ * With a CSV argument, the trace is read from disk (the format of
+ * trace::recordsToCsv); without one, a synthetic trace is generated.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "nn/model_zoo.hh"
+#include "nn/serialize.hh"
+#include "trace/eos_trace_gen.hh"
+#include "trace/feature_matrix.hh"
+#include "trace/feature_select.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace geo;
+
+    // 1. Obtain a trace.
+    std::vector<trace::AccessRecord> records;
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        records = trace::recordsFromCsv(buffer.str());
+        std::cout << "loaded " << records.size() << " records from "
+                  << argv[1] << "\n";
+    } else {
+        trace::EosTraceGenerator generator({});
+        records = generator.generate(20000);
+        std::cout << "generated " << records.size()
+                  << " synthetic EOS records\n";
+    }
+    if (records.size() < 1000) {
+        std::cerr << "need at least 1000 records\n";
+        return 1;
+    }
+
+    // 2. Feature screening (Fig. 4).
+    TextTable table("Feature correlation with throughput");
+    table.setHeader({"feature", "pearson r", "chosen"});
+    for (const trace::FeatureCorrelation &fc :
+         trace::correlateFeatures(records)) {
+        table.addRow({fc.name, TextTable::num(fc.correlation, 3),
+                      fc.chosen ? "YES" : ""});
+    }
+    table.print(std::cout);
+
+    // 3. Train model 1 on the paper's six features.
+    trace::PrepareOptions options;
+    options.smoothingWindow = 8;
+    trace::PreparedData prepared = trace::prepareDataset(
+        records, trace::paperSelectedFeatures(), options);
+    nn::DataSplit split = nn::chronologicalSplit(prepared.dataset);
+
+    Rng rng(42);
+    nn::Sequential model = nn::buildModel(1, 6, rng);
+    nn::SgdOptimizer optimizer(0.05, 5.0);
+    nn::TrainOptions train_options;
+    train_options.epochs = 40;
+    std::cout << "\ntraining model 1 (" << model.describe() << ")...\n";
+    nn::TrainResult result =
+        model.train(split.train, split.validation, optimizer,
+                    train_options);
+    std::cout << "  " << result.trainLoss.size() << " epochs in "
+              << TextTable::num(result.seconds, 2) << " s\n";
+
+    // 4. Evaluate on the held-out test set.
+    nn::Matrix predictions = model.predict(split.test.inputs);
+    std::vector<double> pred, target;
+    for (size_t r = 0; r < split.test.size(); ++r) {
+        pred.push_back(
+            prepared.denormalizeTarget(predictions.at(r, 0)));
+        target.push_back(
+            prepared.denormalizeTarget(split.test.targets.at(r, 0)));
+    }
+    std::cout << "  test mean abs relative error: "
+              << TextTable::num(meanAbsoluteRelativeError(pred, target),
+                                2)
+              << "%\n";
+
+    // 5. Checkpoint the weights.
+    const std::string path = "trace_model.weights";
+    if (nn::saveWeightsFile(model, path))
+        std::cout << "  weights saved to " << path << "\n";
+    return 0;
+}

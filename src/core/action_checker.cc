@@ -1,0 +1,151 @@
+#include "core/action_checker.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace core {
+
+ActionChecker::ActionChecker(storage::StorageSystem &system,
+                             const CheckerConfig &config)
+    : system_(system), config_(config)
+{
+    if (config_.maxMovesPerCycle == 0)
+        panic("ActionChecker: maxMovesPerCycle must be >= 1");
+}
+
+std::vector<storage::DeviceId>
+ActionChecker::validDevices(
+    storage::FileId file,
+    const std::vector<storage::DeviceId> &candidates) const
+{
+    const storage::FileObject &f = system_.file(file);
+    std::vector<storage::DeviceId> valid;
+    for (storage::DeviceId id : candidates) {
+        if (id >= system_.deviceCount())
+            continue;
+        if (id == f.location) {
+            valid.push_back(id); // staying put is always allowed
+            continue;
+        }
+        const storage::StorageDevice &dev = system_.device(id);
+        if (!dev.writable())
+            continue;
+        if (dev.freeBytes() < f.sizeBytes)
+            continue;
+        valid.push_back(id);
+    }
+    return valid;
+}
+
+std::optional<CheckedMove>
+ActionChecker::selectMove(storage::FileId file,
+                          const std::vector<CandidateScore> &scores,
+                          Rng &rng, bool lower_is_better) const
+{
+    // Orient comparisons so "better" is always larger.
+    auto better = [lower_is_better](double a, double b) {
+        return lower_is_better ? a < b : a > b;
+    };
+    storage::DeviceId current = system_.location(file);
+
+    std::vector<storage::DeviceId> candidates;
+    candidates.reserve(scores.size());
+    for (const CandidateScore &s : scores)
+        candidates.push_back(s.device);
+    std::vector<storage::DeviceId> valid = validDevices(file, candidates);
+
+    if (valid.empty()) {
+        // All storage devices invalid: perform a random movement so
+        // Geomancy keeps learning the movement/performance relation.
+        return randomMove(file, rng);
+    }
+
+    double stay_predicted = 0.0;
+    bool have_stay = false;
+    const CandidateScore *best = nullptr;
+    for (const CandidateScore &s : scores) {
+        if (std::find(valid.begin(), valid.end(), s.device) == valid.end())
+            continue;
+        if (s.device == current) {
+            stay_predicted = s.predictedThroughput;
+            have_stay = true;
+        }
+        if (!best ||
+            better(s.predictedThroughput, best->predictedThroughput))
+            best = &s;
+    }
+    if (!best)
+        return randomMove(file, rng);
+    if (best->device == current)
+        return std::nullopt; // staying put predicted best
+
+    CheckedMove move;
+    move.file = file;
+    move.from = current;
+    move.to = best->device;
+    move.predictedThroughput = best->predictedThroughput;
+    if (have_stay && stay_predicted > 0.0) {
+        move.predictedGain =
+            lower_is_better
+                ? (stay_predicted - best->predictedThroughput) /
+                      stay_predicted
+                : (best->predictedThroughput - stay_predicted) /
+                      stay_predicted;
+        if (move.predictedGain < config_.minRelativeGain)
+            return std::nullopt; // not worth the transfer cost
+    } else {
+        move.predictedGain = 0.0;
+    }
+    return move;
+}
+
+std::vector<CheckedMove>
+ActionChecker::capMoves(std::vector<CheckedMove> moves) const
+{
+    std::sort(moves.begin(), moves.end(),
+              [](const CheckedMove &a, const CheckedMove &b) {
+                  return a.predictedGain > b.predictedGain;
+              });
+    std::vector<CheckedMove> kept;
+    std::map<storage::DeviceId, size_t> per_target;
+    for (CheckedMove &move : moves) {
+        if (kept.size() >= config_.maxMovesPerCycle)
+            break;
+        if (config_.maxMovesPerTarget > 0 &&
+            per_target[move.to] >= config_.maxMovesPerTarget) {
+            continue;
+        }
+        ++per_target[move.to];
+        kept.push_back(std::move(move));
+    }
+    return kept;
+}
+
+std::optional<CheckedMove>
+ActionChecker::randomMove(storage::FileId file, Rng &rng) const
+{
+    const storage::FileObject &f = system_.file(file);
+    std::vector<storage::DeviceId> options;
+    for (storage::DeviceId id : system_.deviceIds()) {
+        if (id == f.location)
+            continue;
+        const storage::StorageDevice &dev = system_.device(id);
+        if (dev.writable() && dev.freeBytes() >= f.sizeBytes)
+            options.push_back(id);
+    }
+    if (options.empty())
+        return std::nullopt;
+    CheckedMove move;
+    move.file = file;
+    move.from = f.location;
+    move.to = options[static_cast<size_t>(rng.uniformInt(
+        0, static_cast<int64_t>(options.size()) - 1))];
+    move.random = true;
+    return move;
+}
+
+} // namespace core
+} // namespace geo

@@ -1,0 +1,40 @@
+#include "core/control_agent.hh"
+
+namespace geo {
+namespace core {
+
+ControlAgent::ControlAgent(storage::StorageSystem &system, ReplayDb *db)
+    : system_(system), db_(db)
+{
+}
+
+MoveSummary
+ControlAgent::apply(const std::vector<MoveRequest> &moves)
+{
+    MoveSummary summary;
+    summary.requested = moves.size();
+    for (const MoveRequest &req : moves) {
+        storage::MoveResult result = system_.moveFile(req.file, req.target);
+        if (!result.moved)
+            continue;
+        ++summary.applied;
+        summary.bytesMoved += result.bytes;
+        summary.transferSeconds += result.seconds;
+        ++totalMoves_;
+        totalBytes_ += result.bytes;
+        if (db_) {
+            MovementRecord rec;
+            rec.timestamp = system_.clock().now();
+            rec.file = req.file;
+            rec.fromDevice = result.from;
+            rec.toDevice = result.to;
+            rec.bytes = result.bytes;
+            rec.seconds = result.seconds;
+            db_->insertMovement(rec);
+        }
+    }
+    return summary;
+}
+
+} // namespace core
+} // namespace geo

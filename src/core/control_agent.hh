@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Control agent (paper Section V-A): executes layout changes on the
+ * target system in the background and reports the movements back to
+ * the ReplayDB so every action is indexed by its timestamp.
+ */
+
+#ifndef GEO_CORE_CONTROL_AGENT_HH
+#define GEO_CORE_CONTROL_AGENT_HH
+
+#include <vector>
+
+#include "core/replay_db.hh"
+#include "storage/system.hh"
+
+namespace geo {
+namespace core {
+
+/** One requested file movement. */
+struct MoveRequest
+{
+    storage::FileId file = 0;
+    storage::DeviceId target = 0;
+};
+
+/** Summary of an applied layout change. */
+struct MoveSummary
+{
+    size_t requested = 0;
+    size_t applied = 0;      ///< actually moved (src != dst, valid)
+    uint64_t bytesMoved = 0;
+    double transferSeconds = 0.0;
+};
+
+/**
+ * Applies move requests to the target system.
+ */
+class ControlAgent
+{
+  public:
+    /**
+     * @param system the target system.
+     * @param db movement log (may be null to skip logging).
+     */
+    ControlAgent(storage::StorageSystem &system, ReplayDb *db);
+
+    /** Apply a batch of moves; invalid moves are skipped with a warn. */
+    MoveSummary apply(const std::vector<MoveRequest> &moves);
+
+    /** Lifetime totals. */
+    uint64_t totalMoves() const { return totalMoves_; }
+    uint64_t totalBytesMoved() const { return totalBytes_; }
+
+  private:
+    storage::StorageSystem &system_;
+    ReplayDb *db_;
+    uint64_t totalMoves_ = 0;
+    uint64_t totalBytes_ = 0;
+};
+
+} // namespace core
+} // namespace geo
+
+#endif // GEO_CORE_CONTROL_AGENT_HH

@@ -1,0 +1,133 @@
+#include "core/drl_engine.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace geo {
+namespace core {
+
+DrlEngine::DrlEngine(const DrlConfig &config)
+    : config_(config), rng_(config.seed),
+      model_(nn::buildModel(config.modelNumber, config.featureCount, rng_)),
+      optimizer_(config.learningRate, config.clipNorm)
+{
+    if (nn::modelSpec(config.modelNumber, config.featureCount).recurrent)
+        panic("DrlEngine: live engine requires a dense model "
+              "(model %d is recurrent); windowed inputs are only wired "
+              "into the offline model search", config.modelNumber);
+}
+
+RetrainStats
+DrlEngine::retrain(const TrainingBatch &batch)
+{
+    RetrainStats stats;
+    stats.samples = batch.dataset.size();
+    // Need enough rows for a meaningful 60/20/20 split.
+    if (batch.dataset.size() < 16)
+        return stats;
+
+    batch_ = batch;
+    targetKind_ = batch.target;
+    nn::DataSplit split = nn::chronologicalSplit(
+        batch.dataset, config_.trainFraction, config_.valFraction);
+
+    nn::TrainOptions options;
+    options.epochs = config_.epochs;
+    options.batchSize = config_.batchSize;
+    nn::TrainResult result =
+        model_.train(split.train, split.validation, optimizer_, options);
+    stats.trained = true;
+    stats.seconds = result.seconds;
+    stats.diverged = result.diverged || model_.looksDiverged(split.test);
+    if (stats.diverged) {
+        warn("DrlEngine: model diverged during retrain; predictions "
+             "disabled until a successful cycle");
+        ready_ = false;
+        return stats;
+    }
+
+    // Validation relative error drives the Section V-G adjustment.
+    const nn::Dataset &probe =
+        split.validation.empty() ? split.train : split.validation;
+    nn::Matrix predictions = model_.predict(probe.inputs);
+    std::vector<double> pred_raw, target_raw;
+    pred_raw.reserve(probe.size());
+    target_raw.reserve(probe.size());
+    for (size_t r = 0; r < probe.size(); ++r) {
+        pred_raw.push_back(
+            batch_.denormalizeTarget(predictions.at(r, 0)));
+        target_raw.push_back(
+            batch_.denormalizeTarget(probe.targets.at(r, 0)));
+    }
+    stats.meanAbsRelError =
+        meanAbsoluteRelativeError(pred_raw, target_raw);
+    stats.signedRelError = meanSignedRelativeError(pred_raw, target_raw);
+
+    maeFraction_ = stats.meanAbsRelError / 100.0;
+    if (config_.adjustWithMae && maeFraction_ > 0.0) {
+        // Over-predicting on average -> lower predictions, and vice
+        // versa (sign of the mean signed relative error).
+        adjustSign_ = stats.signedRelError > 0.0 ? -1.0 : 1.0;
+    } else {
+        adjustSign_ = 0.0;
+    }
+    ready_ = true;
+    return stats;
+}
+
+double
+DrlEngine::predictThroughput(const std::vector<double> &raw_features)
+{
+    if (!ready_)
+        panic("DrlEngine::predictThroughput before a successful retrain");
+    std::vector<double> normalized =
+        batch_.normalizeFeatures(raw_features);
+    nn::Matrix input = nn::Matrix::rowVector(normalized);
+    double predicted =
+        batch_.denormalizeTarget(model_.predict(input).at(0, 0));
+    if (adjustSign_ != 0.0)
+        predicted += adjustSign_ * maeFraction_ * predicted;
+    return predicted < 0.0 ? 0.0 : predicted;
+}
+
+std::vector<CandidateScore>
+DrlEngine::scoreCandidates(const PerfRecord &latest,
+                           const std::vector<storage::DeviceId> &devices)
+{
+    if (!ready_)
+        panic("DrlEngine::scoreCandidates before a successful retrain");
+    auto start = std::chrono::steady_clock::now();
+
+    // One batch, one row per candidate location (Section V-C).
+    nn::Matrix inputs(devices.size(), config_.featureCount);
+    for (size_t i = 0; i < devices.size(); ++i) {
+        std::vector<double> row =
+            batch_.normalizeFeatures(latest.featuresAt(devices[i]));
+        for (size_t c = 0; c < row.size(); ++c)
+            inputs.at(i, c) = row[c];
+    }
+    nn::Matrix outputs = model_.predict(inputs);
+
+    std::vector<CandidateScore> scores;
+    scores.reserve(devices.size());
+    for (size_t i = 0; i < devices.size(); ++i) {
+        CandidateScore score;
+        score.device = devices[i];
+        double predicted = batch_.denormalizeTarget(outputs.at(i, 0));
+        if (adjustSign_ != 0.0)
+            predicted += adjustSign_ * maeFraction_ * predicted;
+        score.predictedThroughput = predicted < 0.0 ? 0.0 : predicted;
+        scores.push_back(score);
+    }
+
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    lastPredictMs_ =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    return scores;
+}
+
+} // namespace core
+} // namespace geo

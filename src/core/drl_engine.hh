@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The DRL engine (paper Sections V-B, V-C, V-G).
+ *
+ * Wraps one of the Table I neural networks in a reinforcement loop:
+ * the measured throughput of each access is the reward signal, the
+ * engine retrains on the most recent ReplayDB window, and predictions
+ * are made per candidate location by cloning the file's latest access
+ * features with only the device column varying (Section V-C). The
+ * validation mean-absolute-error is used to bias-correct predictions
+ * (AdjustedPrediction = prediction +/- MAE * prediction, Section V-G).
+ */
+
+#ifndef GEO_CORE_DRL_ENGINE_HH
+#define GEO_CORE_DRL_ENGINE_HH
+
+#include <vector>
+
+#include "core/interface_daemon.hh"
+#include "core/perf_record.hh"
+#include "nn/model_zoo.hh"
+#include "nn/optimizer.hh"
+#include "nn/sequential.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace core {
+
+/** DRL engine configuration. */
+struct DrlConfig
+{
+    int modelNumber = 1;   ///< Table I architecture (paper picks 1)
+    size_t featureCount = kLiveFeatureCount; ///< Z
+    size_t epochs = 40;    ///< retraining epochs per cycle
+    size_t batchSize = 64;
+    double learningRate = 0.05;
+    double clipNorm = 5.0; ///< gradient clipping for stability
+    double trainFraction = 0.6; ///< paper: 60/20/20 split
+    double valFraction = 0.2;
+    bool adjustWithMae = true; ///< Section V-G bias correction
+    uint64_t seed = 2024;
+};
+
+/** Outcome of one retraining cycle. */
+struct RetrainStats
+{
+    bool trained = false;       ///< false when the batch was too small
+    bool diverged = false;
+    double seconds = 0.0;       ///< wall-clock training time
+    double meanAbsRelError = 0.0; ///< % on the validation set
+    double signedRelError = 0.0;  ///< % (sign drives the adjustment)
+    size_t samples = 0;
+};
+
+/** Predicted target value of a file at one candidate location. */
+struct CandidateScore
+{
+    storage::DeviceId device = 0;
+    /** Denormalized predicted target: bytes/s for throughput models,
+     *  seconds for latency models. */
+    double predictedThroughput = 0.0;
+};
+
+/**
+ * Neural-network throughput predictor with per-location scoring.
+ */
+class DrlEngine
+{
+  public:
+    explicit DrlEngine(const DrlConfig &config = {});
+
+    /**
+     * Retrain on a normalized training batch (keeps the batch's
+     * scalers for subsequent predictions).
+     */
+    RetrainStats retrain(const TrainingBatch &batch);
+
+    /** True once at least one successful retrain has happened. */
+    bool ready() const { return ready_; }
+
+    /**
+     * Predicted throughput (bytes/s) for a raw Z-feature row,
+     * MAE-adjusted when configured.
+     */
+    double predictThroughput(const std::vector<double> &raw_features);
+
+    /**
+     * Score every candidate location for the access pattern described
+     * by `latest`: one row per device, only the location column
+     * varying, including the current location ("the possibility that
+     * moving the data will not improve performance").
+     */
+    std::vector<CandidateScore> scoreCandidates(
+        const PerfRecord &latest,
+        const std::vector<storage::DeviceId> &devices);
+
+    /** Millisecond cost of the last prediction batch (wall clock). */
+    double lastPredictionMillis() const { return lastPredictMs_; }
+
+    /** What the engine currently models (from the latest batch). */
+    ModelTarget targetKind() const { return targetKind_; }
+
+    /** True when smaller predictions are better (latency models). */
+    bool lowerIsBetter() const
+    {
+        return targetKind_ == ModelTarget::Latency;
+    }
+
+    /** Validation MAE as a fraction of the target (Sec. V-G). */
+    double maeFraction() const { return maeFraction_; }
+
+    /** Direction of the Sec. V-G adjustment (+1, -1, or 0 = off). */
+    double adjustSign() const { return adjustSign_; }
+
+    const DrlConfig &config() const { return config_; }
+    nn::Sequential &model() { return model_; }
+
+  private:
+    DrlConfig config_;
+    Rng rng_;
+    nn::Sequential model_;
+    nn::SgdOptimizer optimizer_;
+    TrainingBatch batch_; ///< scalers of the latest retrain
+    bool ready_ = false;
+    double maeFraction_ = 0.0;  ///< validation MAE as fraction of target
+    double adjustSign_ = 0.0;   ///< +1 raise, -1 lower, 0 no adjustment
+    ModelTarget targetKind_ = ModelTarget::Throughput;
+    double lastPredictMs_ = 0.0;
+};
+
+} // namespace core
+} // namespace geo
+
+#endif // GEO_CORE_DRL_ENGINE_HH

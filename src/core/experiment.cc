@@ -1,0 +1,147 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/smoothing.hh"
+#include "util/stats.hh"
+
+namespace geo {
+namespace core {
+
+std::vector<double>
+ExperimentResult::smoothedSeries(size_t window) const
+{
+    return movingAverage(throughputSeries, window);
+}
+
+std::vector<double>
+ExperimentResult::bucketedSeries(size_t bucket) const
+{
+    if (bucket == 0)
+        panic("bucketedSeries: bucket must be >= 1");
+    std::vector<double> out;
+    for (size_t begin = 0; begin < throughputSeries.size();
+         begin += bucket) {
+        size_t end = std::min(begin + bucket, throughputSeries.size());
+        double sum = std::accumulate(throughputSeries.begin() +
+                                         static_cast<long>(begin),
+                                     throughputSeries.begin() +
+                                         static_cast<long>(end),
+                                     0.0);
+        out.push_back(sum / static_cast<double>(end - begin));
+    }
+    return out;
+}
+
+ExperimentRunner::ExperimentRunner(storage::StorageSystem &system,
+                                   workload::Belle2Workload &workload,
+                                   PlacementPolicy &policy,
+                                   const ExperimentConfig &config)
+    : system_(system), workload_(workload), policy_(policy),
+      config_(config), rng_(config.seed)
+{
+    if (config_.cadence == 0)
+        panic("ExperimentRunner: cadence must be >= 1");
+}
+
+void
+ExperimentRunner::setRunHook(std::function<void(size_t)> hook)
+{
+    runHook_ = std::move(hook);
+}
+
+void
+ExperimentRunner::recordUsage(
+    const std::vector<storage::AccessObservation> &observations)
+{
+    for (const storage::AccessObservation &obs : observations) {
+        FileUsage &usage = usage_[obs.file];
+        ++usage.accessCount;
+        usage.lastAccessIndex = ++accessCounter_;
+        usage.lastAccessTime = obs.endTime;
+    }
+}
+
+std::vector<storage::DeviceId>
+ExperimentRunner::rankDevices() const
+{
+    // Measured mean throughput where available ("the current total
+    // average throughput at each storage device"), instantaneous
+    // effective bandwidth as a cold-start fallback.
+    std::vector<storage::DeviceId> ids = system_.deviceIds();
+    double now = system_.clock().now();
+    auto speed = [&](storage::DeviceId id) {
+        const storage::StorageDevice &dev = system_.device(id);
+        if (dev.accessCount() >= 8)
+            return dev.throughputStats().mean();
+        return dev.effectiveBandwidth(true, now);
+    };
+    std::sort(ids.begin(), ids.end(),
+              [&](storage::DeviceId a, storage::DeviceId b) {
+                  return speed(a) > speed(b);
+              });
+    return ids;
+}
+
+ExperimentResult
+ExperimentRunner::run()
+{
+    ExperimentResult result;
+    result.policyName = policy_.name();
+    result.accessesPerDevice.assign(system_.deviceCount(), 0);
+
+    // Warmup: collect history with the initial layout untouched.
+    for (size_t r = 0; r < config_.warmupRuns; ++r)
+        recordUsage(workload_.executeRun());
+
+    // Static policies place once, at the start of measurement.
+    uint64_t moves_before = system_.migrationCount();
+    uint64_t bytes_before = system_.migratedBytes();
+    {
+        std::vector<storage::DeviceId> ranked = rankDevices();
+        PolicyContext context{system_, workload_.files(), usage_, ranked,
+                              rng_};
+        size_t moved = policy_.rebalance(context);
+        if (moved > 0)
+            result.moveEvents.push_back({0, moved});
+    }
+
+    StatAccumulator tp_stats;
+    for (size_t r = 0; r < config_.measuredRuns; ++r) {
+        std::vector<storage::AccessObservation> observations =
+            workload_.executeRun();
+        recordUsage(observations);
+        for (const storage::AccessObservation &obs : observations) {
+            result.throughputSeries.push_back(obs.throughput);
+            tp_stats.add(obs.throughput);
+            ++result.accessesPerDevice[obs.device];
+        }
+
+        if (runHook_)
+            runHook_(r);
+
+        bool last_run = (r + 1 == config_.measuredRuns);
+        if (policy_.isDynamic() && !last_run &&
+            (r + 1) % config_.cadence == 0) {
+            std::vector<storage::DeviceId> ranked = rankDevices();
+            PolicyContext context{system_, workload_.files(), usage_,
+                                  ranked, rng_};
+            size_t moved = policy_.rebalance(context);
+            if (moved > 0) {
+                result.moveEvents.push_back(
+                    {result.throughputSeries.size(), moved});
+            }
+        }
+    }
+
+    result.totalAccesses = result.throughputSeries.size();
+    result.averageThroughput = tp_stats.mean();
+    result.filesMoved = system_.migrationCount() - moves_before;
+    result.bytesMoved = system_.migratedBytes() - bytes_before;
+    return result;
+}
+
+} // namespace core
+} // namespace geo

@@ -1,0 +1,174 @@
+#include "core/geomancy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace core {
+
+Geomancy::Geomancy(storage::StorageSystem &system,
+                   std::vector<storage::FileId> managed_files,
+                   const GeomancyConfig &config, const std::string &db_path)
+    : system_(system), managedFiles_(std::move(managed_files)),
+      config_(config), rng_(config.seed)
+{
+    if (managedFiles_.empty())
+        panic("Geomancy: no managed files");
+    db_ = std::make_unique<ReplayDb>(db_path);
+    daemon_ = std::make_unique<InterfaceDaemon>(*db_, config_.daemon);
+    engine_ = std::make_unique<DrlEngine>(config_.drl);
+    checker_ = std::make_unique<ActionChecker>(system_, config_.checker);
+    control_ = std::make_unique<ControlAgent>(system_, db_.get());
+    if (config_.useScheduler) {
+        scheduler_ = std::make_unique<MovementScheduler>(
+            system_, *db_, config_.scheduler);
+    }
+
+    // One monitoring agent per storage device (parallel collection in
+    // the paper; serialized here but architecturally identical).
+    for (storage::DeviceId id : system_.deviceIds()) {
+        agents_.push_back(std::make_unique<MonitoringAgent>(
+            id,
+            [this](const std::vector<PerfRecord> &batch) {
+                daemon_->receiveBatch(batch);
+            },
+            config_.agentBatchSize));
+    }
+    system_.onAccess([this](const storage::AccessObservation &obs) {
+        for (auto &agent : agents_)
+            agent->observe(obs);
+    });
+}
+
+void
+Geomancy::flushAgents()
+{
+    for (auto &agent : agents_)
+        agent->flush();
+}
+
+std::vector<CheckedMove>
+Geomancy::proposeMoves()
+{
+    // Measured recent per-device throughput for the sanity veto.
+    std::map<storage::DeviceId, double> measured;
+    if (config_.sanityWindow > 0) {
+        for (const auto &[device, mean] :
+             db_->deviceThroughput(config_.sanityWindow)) {
+            measured[device] = mean;
+        }
+    }
+
+    std::vector<CheckedMove> moves;
+    std::vector<storage::DeviceId> devices = system_.deviceIds();
+    for (storage::FileId file : managedFiles_) {
+        PerfRecord latest;
+        if (!db_->latestAccessForFile(file, latest))
+            continue; // never accessed yet, nothing to reason from
+        std::vector<CandidateScore> scores =
+            engine_->scoreCandidates(latest, devices);
+        std::optional<CheckedMove> move = checker_->selectMove(
+            file, scores, rng_, engine_->lowerIsBetter());
+        if (!move)
+            continue;
+        if (!move->random && config_.sanityWindow > 0) {
+            auto from_it = measured.find(move->from);
+            auto to_it = measured.find(move->to);
+            // Veto moves toward a device that is measurably slower
+            // right now; destinations without recent samples pass
+            // (moving there is how Geomancy learns about them).
+            if (from_it != measured.end() && to_it != measured.end() &&
+                to_it->second < from_it->second) {
+                continue;
+            }
+        }
+        moves.push_back(*move);
+    }
+    return checker_->capMoves(std::move(moves));
+}
+
+std::vector<CheckedMove>
+Geomancy::explorationMoves()
+{
+    // Pick a few random managed files and move each somewhere random;
+    // this keeps the availability map fresh and teaches the model the
+    // movement/performance relation (Section V-H).
+    std::vector<storage::FileId> shuffled = managedFiles_;
+    rng_.shuffle(shuffled);
+    std::vector<CheckedMove> moves;
+    for (storage::FileId file : shuffled) {
+        if (moves.size() >= config_.explorationMoves)
+            break;
+        std::optional<CheckedMove> move = checker_->randomMove(file, rng_);
+        if (move)
+            moves.push_back(*move);
+    }
+    return moves;
+}
+
+CycleReport
+Geomancy::runCycle()
+{
+    CycleReport report;
+    ++cycles_;
+    flushAgents();
+
+    if (db_->accessCount() <
+        static_cast<int64_t>(config_.minHistory)) {
+        report.skipped = true;
+        return report;
+    }
+
+    TrainingBatch batch =
+        daemon_->buildTrainingBatch(system_.deviceIds());
+    report.retrain = engine_->retrain(batch);
+    if (!report.retrain.trained || report.retrain.diverged) {
+        report.skipped = true;
+        return report;
+    }
+
+    std::vector<CheckedMove> moves;
+    if (rng_.chance(config_.explorationRate)) {
+        report.explored = true;
+        moves = explorationMoves();
+    } else {
+        moves = proposeMoves();
+    }
+    report.proposedMoves = moves.size();
+    if (scheduler_) {
+        moves = scheduler_->admitAll(std::move(moves),
+                                     system_.clock().now());
+    }
+    if (moves.empty())
+        return report;
+
+    std::vector<MoveRequest> requests;
+    requests.reserve(moves.size());
+    for (const CheckedMove &move : moves)
+        requests.push_back({move.file, move.to});
+    report.moves = control_->apply(requests);
+    report.acted = report.moves.applied > 0;
+    return report;
+}
+
+std::vector<MoveRequest>
+Geomancy::predictLayout()
+{
+    flushAgents();
+    TrainingBatch batch =
+        daemon_->buildTrainingBatch(system_.deviceIds());
+    RetrainStats stats = engine_->retrain(batch);
+    if (!stats.trained || stats.diverged) {
+        warn("Geomancy::predictLayout: model not usable "
+             "(trained=%d diverged=%d)", stats.trained, stats.diverged);
+        return {};
+    }
+    std::vector<MoveRequest> requests;
+    for (const CheckedMove &move : proposeMoves())
+        requests.push_back({move.file, move.to});
+    return requests;
+}
+
+} // namespace core
+} // namespace geo

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The Geomancy facade: wires monitoring agents, the Interface Daemon,
+ * the ReplayDB, the DRL engine, the Action Checker and the control
+ * agents into the architecture of the paper's Fig. 2.
+ *
+ * Geomancy only touches the target system in two ways: it observes
+ * per-access performance (via the agents) and it moves files (via the
+ * control agent). Decision cycles retrain the network on the freshest
+ * ReplayDB window, score every (file, device) candidate, and apply the
+ * checked moves; 10% of cycles take random exploration actions instead
+ * (Section V-H).
+ */
+
+#ifndef GEO_CORE_GEOMANCY_HH
+#define GEO_CORE_GEOMANCY_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/action_checker.hh"
+#include "core/control_agent.hh"
+#include "core/drl_engine.hh"
+#include "core/interface_daemon.hh"
+#include "core/monitoring_agent.hh"
+#include "core/movement_scheduler.hh"
+#include "core/replay_db.hh"
+#include "storage/system.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace core {
+
+/** Top-level Geomancy configuration. */
+struct GeomancyConfig
+{
+    DrlConfig drl;
+    DaemonConfig daemon;
+    CheckerConfig checker;
+    /** Probability of an exploration cycle. The paper takes random
+     *  decisions on 10% of *runs*; with a decision every 5 runs that
+     *  is P(any of 5 runs explores) = 1 - 0.9^5 ~ 0.41 per cycle. */
+    double explorationRate = 0.41;
+    /** Files moved in one exploration cycle. */
+    size_t explorationMoves = 2;
+    /** Minimum ReplayDB samples before the engine starts acting. */
+    size_t minHistory = 500;
+    /** Recent-sample window for the measured-throughput sanity check:
+     *  a proposed move whose destination measures slower than the
+     *  file's current device over this window is vetoed (0 disables).
+     *  This keeps one noisy prediction from herding files onto a mount
+     *  that is demonstrably slow right now — the Action Checker's
+     *  "last sanity check" role (Section V-H). */
+    size_t sanityWindow = 4000;
+    uint64_t seed = 77;
+    /** Monitoring-agent batch size. */
+    size_t agentBatchSize = 32;
+    /** Enable the movement scheduler (per-file cooldown + gap check,
+     *  the paper's future-work extension). Off by default to match
+     *  the published system. */
+    bool useScheduler = false;
+    SchedulerConfig scheduler;
+};
+
+/** Report of one decision cycle. */
+struct CycleReport
+{
+    bool acted = false;          ///< any move applied
+    bool explored = false;       ///< this was a random exploration cycle
+    bool skipped = false;        ///< not enough history / model diverged
+    RetrainStats retrain;
+    size_t proposedMoves = 0;
+    MoveSummary moves;
+};
+
+/**
+ * The Geomancy optimizer attached to one target system.
+ */
+class Geomancy
+{
+  public:
+    /**
+     * Attach to a target system.
+     *
+     * @param system target system (must outlive Geomancy).
+     * @param managed_files the workload's files to optimize.
+     * @param config tuning knobs.
+     * @param db_path ReplayDB location (":memory:" by default).
+     */
+    Geomancy(storage::StorageSystem &system,
+             std::vector<storage::FileId> managed_files,
+             const GeomancyConfig &config = {},
+             const std::string &db_path = ":memory:");
+
+    /**
+     * One decision cycle: flush agents, retrain, score candidates,
+     * check actions and move files.
+     */
+    CycleReport runCycle();
+
+    /**
+     * Produce one layout prediction without applying it (used by the
+     * "Geomancy static" baseline of experiment 2).
+     */
+    std::vector<MoveRequest> predictLayout();
+
+    /** The ReplayDB (exposed for experiments and inspection). */
+    ReplayDb &replayDb() { return *db_; }
+
+    InterfaceDaemon &daemon() { return *daemon_; }
+    DrlEngine &engine() { return *engine_; }
+    ControlAgent &controlAgent() { return *control_; }
+
+    /** The movement scheduler, or null when disabled. */
+    MovementScheduler *scheduler() { return scheduler_.get(); }
+
+    const std::vector<storage::FileId> &managedFiles() const
+    {
+        return managedFiles_;
+    }
+
+    /** Decision cycles run so far. */
+    size_t cyclesRun() const { return cycles_; }
+
+  private:
+    storage::StorageSystem &system_;
+    std::vector<storage::FileId> managedFiles_;
+    GeomancyConfig config_;
+    Rng rng_;
+
+    std::unique_ptr<ReplayDb> db_;
+    std::unique_ptr<InterfaceDaemon> daemon_;
+    std::unique_ptr<DrlEngine> engine_;
+    std::unique_ptr<ActionChecker> checker_;
+    std::unique_ptr<ControlAgent> control_;
+    std::unique_ptr<MovementScheduler> scheduler_; ///< optional
+    std::vector<std::unique_ptr<MonitoringAgent>> agents_;
+    size_t cycles_ = 0;
+
+    /** Flush all agents' pending batches into the ReplayDB. */
+    void flushAgents();
+
+    /** Propose checked moves from the current model. */
+    std::vector<CheckedMove> proposeMoves();
+
+    /** Random exploration move set. */
+    std::vector<CheckedMove> explorationMoves();
+};
+
+} // namespace core
+} // namespace geo
+
+#endif // GEO_CORE_GEOMANCY_HH

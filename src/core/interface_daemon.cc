@@ -1,0 +1,108 @@
+#include "core/interface_daemon.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/smoothing.hh"
+
+namespace geo {
+namespace core {
+
+std::vector<double>
+TrainingBatch::normalizeFeatures(const std::vector<double> &raw) const
+{
+    if (!featureNorm.fitted())
+        return raw;
+    if (raw.size() != featureNorm.columns())
+        panic("normalizeFeatures: %zu values, scaler has %zu columns",
+              raw.size(), featureNorm.columns());
+    std::vector<double> out(raw.size());
+    for (size_t c = 0; c < raw.size(); ++c)
+        out[c] = featureNorm.value(raw[c], c);
+    return out;
+}
+
+double
+TrainingBatch::denormalizeTarget(double normalized) const
+{
+    if (!targetNorm.fitted())
+        return normalized;
+    return targetNorm.inverseValue(normalized, 0);
+}
+
+InterfaceDaemon::InterfaceDaemon(ReplayDb &db, const DaemonConfig &config)
+    : db_(db), config_(config)
+{
+    if (config_.windowPerDevice == 0)
+        panic("InterfaceDaemon: windowPerDevice must be >= 1");
+    if (config_.smoothingWindow == 0)
+        panic("InterfaceDaemon: smoothingWindow must be >= 1");
+}
+
+void
+InterfaceDaemon::receiveBatch(const std::vector<PerfRecord> &records)
+{
+    if (records.empty())
+        return;
+    db_.insertAccesses(records);
+    transferOverhead_ += config_.batchTransferSeconds;
+    ++batchesReceived_;
+}
+
+TrainingBatch
+InterfaceDaemon::buildTrainingBatch(
+    const std::vector<storage::DeviceId> &devices) const
+{
+    // The X most recent accesses for each storage device...
+    std::vector<PerfRecord> merged;
+    for (storage::DeviceId device : devices) {
+        std::vector<PerfRecord> recent =
+            db_.recentAccessesForDevice(device, config_.windowPerDevice);
+        merged.insert(merged.end(), recent.begin(), recent.end());
+    }
+    // ...merged chronologically (row id order = insertion order).
+    std::sort(merged.begin(), merged.end(),
+              [](const PerfRecord &a, const PerfRecord &b) {
+                  return a.id < b.id;
+              });
+
+    TrainingBatch batch;
+    batch.target = config_.target;
+    if (merged.empty())
+        return batch;
+
+    nn::Matrix inputs(merged.size(), kLiveFeatureCount);
+    for (size_t r = 0; r < merged.size(); ++r) {
+        std::vector<double> row = merged[r].features();
+        for (size_t c = 0; c < row.size(); ++c)
+            inputs.at(r, c) = row[c];
+    }
+
+    std::vector<double> tp;
+    tp.reserve(merged.size());
+    for (const PerfRecord &rec : merged) {
+        if (config_.target == ModelTarget::Latency) {
+            double open_time = static_cast<double>(rec.ots) +
+                               static_cast<double>(rec.otms) / 1000.0;
+            double close_time = static_cast<double>(rec.cts) +
+                                static_cast<double>(rec.ctms) / 1000.0;
+            tp.push_back(std::max(0.0, close_time - open_time));
+        } else {
+            tp.push_back(rec.throughput);
+        }
+    }
+    if (config_.smoothingWindow > 1)
+        tp = movingAverage(tp, config_.smoothingWindow);
+    nn::Matrix targets(merged.size(), 1);
+    for (size_t r = 0; r < merged.size(); ++r)
+        targets.at(r, 0) = tp[r];
+
+    batch.featureNorm.fit(inputs);
+    batch.targetNorm.fit(targets);
+    batch.dataset.inputs = batch.featureNorm.transform(inputs);
+    batch.dataset.targets = batch.targetNorm.transform(targets);
+    return batch;
+}
+
+} // namespace core
+} // namespace geo

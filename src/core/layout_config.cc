@@ -1,0 +1,111 @@
+#include "core/layout_config.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace core {
+
+namespace {
+constexpr const char *kMagic = "geomancy-layout-v1";
+} // namespace
+
+LayoutConfig
+LayoutConfig::capture(const storage::StorageSystem &system)
+{
+    LayoutConfig config;
+    for (const auto &[file, device] : system.layout())
+        config.layout_[file] = device;
+    for (storage::DeviceId id : system.deviceIds())
+        if (system.device(id).writable())
+            config.available_.push_back(id);
+    return config;
+}
+
+storage::DeviceId
+LayoutConfig::location(storage::FileId file) const
+{
+    auto it = layout_.find(file);
+    if (it == layout_.end())
+        panic("LayoutConfig: unknown file %llu",
+              static_cast<unsigned long long>(file));
+    return it->second;
+}
+
+bool
+LayoutConfig::knows(storage::FileId file) const
+{
+    return layout_.count(file) > 0;
+}
+
+std::string
+LayoutConfig::serialize() const
+{
+    std::ostringstream os;
+    os << kMagic << '\n';
+    os << "available";
+    for (storage::DeviceId id : available_)
+        os << ' ' << id;
+    os << '\n';
+    for (const auto &[file, device] : layout_)
+        os << file << ' ' << device << '\n';
+    return os.str();
+}
+
+bool
+LayoutConfig::parse(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic;
+    if (!std::getline(is, magic) || magic != kMagic)
+        return false;
+    std::string line;
+    if (!std::getline(is, line))
+        return false;
+    std::istringstream avail(line);
+    std::string tag;
+    avail >> tag;
+    if (tag != "available")
+        return false;
+    layout_.clear();
+    available_.clear();
+    storage::DeviceId device = 0;
+    while (avail >> device)
+        available_.push_back(device);
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        storage::FileId file = 0;
+        if (!(row >> file >> device))
+            return false;
+        layout_[file] = device;
+    }
+    return true;
+}
+
+bool
+LayoutConfig::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << serialize();
+    return static_cast<bool>(os);
+}
+
+bool
+LayoutConfig::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    return parse(buffer.str());
+}
+
+} // namespace core
+} // namespace geo

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The layout configuration file (paper Sections V-F and VI).
+ *
+ * The paper's workload "requests the current locations of the files
+ * from a configuration file that Geomancy configures after any data
+ * movement", and Geomancy refreshes the list of potential storage
+ * points "saved as a configuration file" before predicting. This
+ * class is that file: a persistent snapshot of the file -> device
+ * layout plus the available (writable) mounts, written by Geomancy's
+ * side and readable by any client.
+ */
+
+#ifndef GEO_CORE_LAYOUT_CONFIG_HH
+#define GEO_CORE_LAYOUT_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/system.hh"
+
+namespace geo {
+namespace core {
+
+/**
+ * Persistent layout snapshot.
+ */
+class LayoutConfig
+{
+  public:
+    LayoutConfig() = default;
+
+    /** Capture the current layout and mount availability. */
+    static LayoutConfig capture(const storage::StorageSystem &system);
+
+    /** Location of a file; panics if the file is unknown. */
+    storage::DeviceId location(storage::FileId file) const;
+
+    /** Whether the snapshot knows this file. */
+    bool knows(storage::FileId file) const;
+
+    /** Devices that were writable when captured (the candidate set
+     *  predictions are constrained to, Section V-F). */
+    const std::vector<storage::DeviceId> &availableDevices() const
+    {
+        return available_;
+    }
+
+    size_t fileCount() const { return layout_.size(); }
+
+    /** Serialize to the on-disk text format. */
+    std::string serialize() const;
+
+    /** Parse the on-disk format. @return false on malformed input. */
+    bool parse(const std::string &text);
+
+    /** Write to a file. @return false on I/O error. */
+    bool save(const std::string &path) const;
+
+    /** Read from a file. @return false on I/O or parse error. */
+    bool load(const std::string &path);
+
+    bool operator==(const LayoutConfig &other) const = default;
+
+  private:
+    std::map<storage::FileId, storage::DeviceId> layout_;
+    std::vector<storage::DeviceId> available_;
+};
+
+} // namespace core
+} // namespace geo
+
+#endif // GEO_CORE_LAYOUT_CONFIG_HH

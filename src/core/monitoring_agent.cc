@@ -1,0 +1,41 @@
+#include "core/monitoring_agent.hh"
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace core {
+
+MonitoringAgent::MonitoringAgent(storage::DeviceId device, BatchSink sink,
+                                 size_t batch_size)
+    : device_(device), sink_(std::move(sink)), batchSize_(batch_size)
+{
+    if (!sink_)
+        panic("MonitoringAgent: null sink");
+    if (batchSize_ == 0)
+        panic("MonitoringAgent: batch size must be >= 1");
+    pending_.reserve(batchSize_);
+}
+
+void
+MonitoringAgent::observe(const storage::AccessObservation &obs)
+{
+    if (obs.device != device_)
+        return;
+    pending_.push_back(PerfRecord::fromObservation(obs));
+    ++observed_;
+    if (pending_.size() >= batchSize_)
+        flush();
+}
+
+void
+MonitoringAgent::flush()
+{
+    if (pending_.empty())
+        return;
+    sink_(pending_);
+    ++batches_;
+    pending_.clear();
+}
+
+} // namespace core
+} // namespace geo

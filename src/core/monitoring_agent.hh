@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-device monitoring agent (paper Section V-A).
+ *
+ * Each agent watches exactly one storage device, flags the start and
+ * end of every access, measures the bytes moved, and forwards the
+ * resulting performance records. To lower transfer overhead, records
+ * are batched ("Geomancy captures groups of accesses as one access")
+ * and handed to the Interface Daemon in groups.
+ */
+
+#ifndef GEO_CORE_MONITORING_AGENT_HH
+#define GEO_CORE_MONITORING_AGENT_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/perf_record.hh"
+
+namespace geo {
+namespace core {
+
+/**
+ * Monitoring agent for one storage device.
+ */
+class MonitoringAgent
+{
+  public:
+    using BatchSink = std::function<void(const std::vector<PerfRecord> &)>;
+
+    /**
+     * @param device the device this agent watches.
+     * @param sink receives full batches of records.
+     * @param batch_size records per forwarded batch.
+     */
+    MonitoringAgent(storage::DeviceId device, BatchSink sink,
+                    size_t batch_size = 32);
+
+    /** Candidate observation; ignored unless it hit this device. */
+    void observe(const storage::AccessObservation &obs);
+
+    /** Flush any partially filled batch to the sink. */
+    void flush();
+
+    storage::DeviceId device() const { return device_; }
+
+    /** Records observed on this device over the agent's lifetime. */
+    uint64_t observedCount() const { return observed_; }
+
+    /** Batches forwarded so far. */
+    uint64_t batchesSent() const { return batches_; }
+
+  private:
+    storage::DeviceId device_;
+    BatchSink sink_;
+    size_t batchSize_;
+    std::vector<PerfRecord> pending_;
+    uint64_t observed_ = 0;
+    uint64_t batches_ = 0;
+};
+
+} // namespace core
+} // namespace geo
+
+#endif // GEO_CORE_MONITORING_AGENT_HH

@@ -1,0 +1,70 @@
+#include "core/movement_scheduler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace core {
+
+MovementScheduler::MovementScheduler(storage::StorageSystem &system,
+                                     const ReplayDb &db,
+                                     const SchedulerConfig &config)
+    : system_(system), gaps_(db, config.gaps), config_(config)
+{
+    if (config_.fileCooldownSeconds < 0.0)
+        panic("MovementScheduler: negative cooldown");
+    if (config_.gapSafetyFactor < 1.0)
+        panic("MovementScheduler: gap safety factor must be >= 1");
+}
+
+double
+MovementScheduler::expectedTransferSeconds(const CheckedMove &move,
+                                           double now) const
+{
+    const storage::FileObject &f = system_.file(move.file);
+    if (move.to >= system_.deviceCount())
+        return 0.0;
+    const storage::StorageDevice &src = system_.device(f.location);
+    const storage::StorageDevice &dst = system_.device(move.to);
+    double bw = std::min(src.effectiveBandwidth(true, now),
+                         dst.effectiveBandwidth(false, now));
+    if (bw <= 0.0)
+        return 0.0;
+    return static_cast<double>(f.sizeBytes) / bw;
+}
+
+bool
+MovementScheduler::admit(const CheckedMove &move, double now)
+{
+    auto it = lastMove_.find(move.file);
+    if (it != lastMove_.end() &&
+        now - it->second < config_.fileCooldownSeconds) {
+        ++rejectedCooldown_;
+        return false;
+    }
+    if (config_.checkGaps) {
+        double transfer = expectedTransferSeconds(move, now);
+        if (!gaps_.fitsInGap(move.file, transfer,
+                             config_.gapSafetyFactor)) {
+            ++rejectedGap_;
+            return false;
+        }
+    }
+    lastMove_[move.file] = now;
+    return true;
+}
+
+std::vector<CheckedMove>
+MovementScheduler::admitAll(std::vector<CheckedMove> moves, double now)
+{
+    std::vector<CheckedMove> admitted;
+    admitted.reserve(moves.size());
+    for (CheckedMove &move : moves)
+        if (admit(move, now))
+            admitted.push_back(std::move(move));
+    return admitted;
+}
+
+} // namespace core
+} // namespace geo

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The data-movement scheduler (paper Sections V-F and X, future work).
+ *
+ * The paper defers "a data movement scheduler ... that determines a
+ * cooldown between file movement" to future work. This implementation
+ * combines two admission rules for each checked move:
+ *
+ *  1. a per-file cooldown — a file that was just migrated is left
+ *     alone for a while, bounding migration churn;
+ *  2. a gap check — the expected transfer must fit inside the file's
+ *     predicted idle gap (GapPredictor), so migrations do not collide
+ *     with the workload's own accesses.
+ */
+
+#ifndef GEO_CORE_MOVEMENT_SCHEDULER_HH
+#define GEO_CORE_MOVEMENT_SCHEDULER_HH
+
+#include <map>
+
+#include "core/action_checker.hh"
+#include "core/gap_predictor.hh"
+#include "storage/system.hh"
+
+namespace geo {
+namespace core {
+
+/** Scheduler configuration. */
+struct SchedulerConfig
+{
+    /** Seconds a file must rest between migrations. */
+    double fileCooldownSeconds = 60.0;
+    /** Safety factor on the transfer-vs-gap comparison. */
+    double gapSafetyFactor = 1.5;
+    /** Enforce the gap check (the cooldown always applies). */
+    bool checkGaps = true;
+    GapPredictorConfig gaps;
+};
+
+/**
+ * Admission control for checked moves.
+ */
+class MovementScheduler
+{
+  public:
+    MovementScheduler(storage::StorageSystem &system, const ReplayDb &db,
+                      const SchedulerConfig &config = {});
+
+    /**
+     * Whether `move` may execute at time `now`; admitted moves are
+     * recorded so the cooldown starts immediately.
+     */
+    bool admit(const CheckedMove &move, double now);
+
+    /** Filter a move list, keeping only admissible moves. */
+    std::vector<CheckedMove> admitAll(std::vector<CheckedMove> moves,
+                                      double now);
+
+    /** Expected transfer duration of a move at time `now`. */
+    double expectedTransferSeconds(const CheckedMove &move,
+                                   double now) const;
+
+    /** Moves rejected so far, by reason. */
+    uint64_t rejectedByCooldown() const { return rejectedCooldown_; }
+    uint64_t rejectedByGap() const { return rejectedGap_; }
+
+    const SchedulerConfig &config() const { return config_; }
+
+  private:
+    storage::StorageSystem &system_;
+    GapPredictor gaps_;
+    SchedulerConfig config_;
+    std::map<storage::FileId, double> lastMove_;
+    uint64_t rejectedCooldown_ = 0;
+    uint64_t rejectedGap_ = 0;
+};
+
+} // namespace core
+} // namespace geo
+
+#endif // GEO_CORE_MOVEMENT_SCHEDULER_HH

@@ -1,0 +1,205 @@
+#include "core/policies.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace core {
+
+namespace {
+
+/** Usage of a file, defaulting to "never used". */
+FileUsage
+usageOf(const PolicyContext &context, storage::FileId file)
+{
+    auto it = context.usage.find(file);
+    return it == context.usage.end() ? FileUsage{} : it->second;
+}
+
+} // namespace
+
+size_t
+GroupedHeuristicPolicy::rebalance(PolicyContext &context)
+{
+    if (context.files.empty() || context.devicesFastestFirst.empty())
+        return 0;
+
+    std::vector<storage::FileId> files = context.files;
+    std::vector<storage::DeviceId> devices = context.devicesFastestFirst;
+    orderFiles(files, devices, context);
+
+    // Group boundaries: even split by default (files that do not
+    // divide evenly land on the slowest device, as in the paper's
+    // setup), or proportional to device capacity when requested.
+    std::vector<size_t> group_end(devices.size(), 0);
+    if (capacityWeighted_) {
+        double total_capacity = 0.0;
+        for (storage::DeviceId id : devices)
+            total_capacity += static_cast<double>(
+                context.system.device(id).capacityBytes());
+        double cumulative = 0.0;
+        for (size_t g = 0; g < devices.size(); ++g) {
+            cumulative += static_cast<double>(
+                context.system.device(devices[g]).capacityBytes());
+            group_end[g] = static_cast<size_t>(
+                cumulative / total_capacity *
+                static_cast<double>(files.size()));
+        }
+        group_end.back() = files.size();
+    } else {
+        size_t group_size = files.size() / devices.size();
+        for (size_t g = 0; g < devices.size(); ++g)
+            group_end[g] = group_size == 0 ? 0 : (g + 1) * group_size;
+        group_end.back() = files.size();
+    }
+
+    size_t moved = 0;
+    size_t group = 0;
+    for (size_t i = 0; i < files.size(); ++i) {
+        while (group + 1 < devices.size() && i >= group_end[group])
+            ++group;
+        storage::DeviceId target = devices[group];
+        if (context.system.location(files[i]) != target) {
+            if (context.system.moveFile(files[i], target).moved)
+                ++moved;
+        }
+    }
+    return moved;
+}
+
+void
+LruPolicy::orderFiles(std::vector<storage::FileId> &files,
+                      std::vector<storage::DeviceId> &devices,
+                      const PolicyContext &context)
+{
+    (void)devices; // fastest-first order already correct
+    std::sort(files.begin(), files.end(),
+              [&](storage::FileId a, storage::FileId b) {
+                  return usageOf(context, a).lastAccessIndex >
+                         usageOf(context, b).lastAccessIndex;
+              });
+}
+
+void
+MruPolicy::orderFiles(std::vector<storage::FileId> &files,
+                      std::vector<storage::DeviceId> &devices,
+                      const PolicyContext &context)
+{
+    // Most recently used files go to the *slowest* devices.
+    std::sort(files.begin(), files.end(),
+              [&](storage::FileId a, storage::FileId b) {
+                  return usageOf(context, a).lastAccessIndex >
+                         usageOf(context, b).lastAccessIndex;
+              });
+    std::reverse(devices.begin(), devices.end());
+}
+
+void
+LfuPolicy::orderFiles(std::vector<storage::FileId> &files,
+                      std::vector<storage::DeviceId> &devices,
+                      const PolicyContext &context)
+{
+    (void)devices;
+    std::sort(files.begin(), files.end(),
+              [&](storage::FileId a, storage::FileId b) {
+                  return usageOf(context, a).accessCount >
+                         usageOf(context, b).accessCount;
+              });
+}
+
+RandomPolicy::RandomPolicy(bool dynamic) : dynamic_(dynamic) {}
+
+std::string
+RandomPolicy::name() const
+{
+    return dynamic_ ? "random dynamic" : "random static";
+}
+
+size_t
+RandomPolicy::rebalance(PolicyContext &context)
+{
+    if (!dynamic_ && placed_)
+        return 0;
+    placed_ = true;
+    size_t moved = 0;
+    size_t device_count = context.system.deviceCount();
+    if (device_count == 0)
+        return 0;
+    for (storage::FileId file : context.files) {
+        storage::DeviceId target =
+            static_cast<storage::DeviceId>(context.rng.uniformInt(
+                0, static_cast<int64_t>(device_count) - 1));
+        if (context.system.location(file) != target) {
+            if (context.system.moveFile(file, target).moved)
+                ++moved;
+        }
+    }
+    return moved;
+}
+
+SingleMountPolicy::SingleMountPolicy(storage::DeviceId device)
+    : device_(device)
+{
+}
+
+std::string
+SingleMountPolicy::name() const
+{
+    return strprintf("single-mount(%u)", device_);
+}
+
+size_t
+SingleMountPolicy::rebalance(PolicyContext &context)
+{
+    if (placed_)
+        return 0;
+    placed_ = true;
+    size_t moved = 0;
+    for (storage::FileId file : context.files) {
+        if (context.system.location(file) != device_) {
+            if (context.system.moveFile(file, device_).moved)
+                ++moved;
+            else
+                warn("SingleMountPolicy: could not move file %llu to %u",
+                     static_cast<unsigned long long>(file), device_);
+        }
+    }
+    return moved;
+}
+
+GeomancyDynamicPolicy::GeomancyDynamicPolicy(Geomancy &geomancy)
+    : geomancy_(geomancy)
+{
+}
+
+size_t
+GeomancyDynamicPolicy::rebalance(PolicyContext &context)
+{
+    (void)context; // Geomancy consults its own ReplayDB
+    lastReport_ = geomancy_.runCycle();
+    return lastReport_.moves.applied;
+}
+
+GeomancyStaticPolicy::GeomancyStaticPolicy(Geomancy &geomancy)
+    : geomancy_(geomancy)
+{
+}
+
+size_t
+GeomancyStaticPolicy::rebalance(PolicyContext &context)
+{
+    if (placed_)
+        return 0;
+    placed_ = true;
+    std::vector<MoveRequest> layout = geomancy_.predictLayout();
+    size_t moved = 0;
+    for (const MoveRequest &req : layout) {
+        if (context.system.moveFile(req.file, req.target).moved)
+            ++moved;
+    }
+    return moved;
+}
+
+} // namespace core
+} // namespace geo

@@ -1,0 +1,391 @@
+#include "core/replay_db.hh"
+
+#include <sqlite3.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace geo {
+namespace core {
+
+namespace {
+
+/** Read one PerfRecord from the current row of a SELECT * statement. */
+PerfRecord
+readAccessRow(sqlite3_stmt *stmt)
+{
+    PerfRecord rec;
+    rec.id = sqlite3_column_int64(stmt, 0);
+    rec.file =
+        static_cast<storage::FileId>(sqlite3_column_int64(stmt, 1));
+    rec.device =
+        static_cast<storage::DeviceId>(sqlite3_column_int64(stmt, 2));
+    rec.rb = static_cast<uint64_t>(sqlite3_column_int64(stmt, 3));
+    rec.wb = static_cast<uint64_t>(sqlite3_column_int64(stmt, 4));
+    rec.ots = sqlite3_column_int64(stmt, 5);
+    rec.otms = sqlite3_column_int64(stmt, 6);
+    rec.cts = sqlite3_column_int64(stmt, 7);
+    rec.ctms = sqlite3_column_int64(stmt, 8);
+    rec.throughput = sqlite3_column_double(stmt, 9);
+    return rec;
+}
+
+constexpr const char *kAccessColumns =
+    "id, file_id, device_id, rb, wb, ots, otms, cts, ctms, throughput";
+
+} // namespace
+
+ReplayDb::ReplayDb(const std::string &path)
+{
+    if (sqlite3_open(path.c_str(), &db_) != SQLITE_OK)
+        fatal("ReplayDb: cannot open '%s': %s", path.c_str(),
+              db_ ? sqlite3_errmsg(db_) : "out of memory");
+
+    exec("PRAGMA journal_mode = MEMORY;");
+    exec("PRAGMA synchronous = OFF;");
+    exec("CREATE TABLE IF NOT EXISTS accesses ("
+         "  id INTEGER PRIMARY KEY AUTOINCREMENT,"
+         "  file_id INTEGER NOT NULL,"
+         "  device_id INTEGER NOT NULL,"
+         "  rb INTEGER NOT NULL,"
+         "  wb INTEGER NOT NULL,"
+         "  ots INTEGER NOT NULL,"
+         "  otms INTEGER NOT NULL,"
+         "  cts INTEGER NOT NULL,"
+         "  ctms INTEGER NOT NULL,"
+         "  throughput REAL NOT NULL"
+         ");");
+    exec("CREATE INDEX IF NOT EXISTS idx_accesses_device"
+         " ON accesses(device_id, id);");
+    exec("CREATE INDEX IF NOT EXISTS idx_accesses_file"
+         " ON accesses(file_id, id);");
+    exec("CREATE TABLE IF NOT EXISTS movements ("
+         "  id INTEGER PRIMARY KEY AUTOINCREMENT,"
+         "  timestamp REAL NOT NULL,"
+         "  file_id INTEGER NOT NULL,"
+         "  from_device INTEGER NOT NULL,"
+         "  to_device INTEGER NOT NULL,"
+         "  bytes INTEGER NOT NULL,"
+         "  seconds REAL NOT NULL"
+         ");");
+
+    const char *insert_access =
+        "INSERT INTO accesses (file_id, device_id, rb, wb, ots, otms, cts,"
+        " ctms, throughput) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?);";
+    if (sqlite3_prepare_v2(db_, insert_access, -1, &insertAccessStmt_,
+                           nullptr) != SQLITE_OK)
+        fatal("ReplayDb: prepare insertAccess: %s", sqlite3_errmsg(db_));
+
+    const char *insert_movement =
+        "INSERT INTO movements (timestamp, file_id, from_device, to_device,"
+        " bytes, seconds) VALUES (?, ?, ?, ?, ?, ?);";
+    if (sqlite3_prepare_v2(db_, insert_movement, -1, &insertMovementStmt_,
+                           nullptr) != SQLITE_OK)
+        fatal("ReplayDb: prepare insertMovement: %s", sqlite3_errmsg(db_));
+}
+
+ReplayDb::~ReplayDb()
+{
+    sqlite3_finalize(insertAccessStmt_);
+    sqlite3_finalize(insertMovementStmt_);
+    sqlite3_close(db_);
+}
+
+void
+ReplayDb::exec(const std::string &sql)
+{
+    char *err = nullptr;
+    if (sqlite3_exec(db_, sql.c_str(), nullptr, nullptr, &err) !=
+        SQLITE_OK) {
+        std::string message = err ? err : "unknown error";
+        sqlite3_free(err);
+        fatal("ReplayDb: exec failed: %s (%s)", message.c_str(),
+              sql.c_str());
+    }
+}
+
+int64_t
+ReplayDb::insertAccess(const PerfRecord &record)
+{
+    sqlite3_reset(insertAccessStmt_);
+    sqlite3_bind_int64(insertAccessStmt_, 1,
+                       static_cast<int64_t>(record.file));
+    sqlite3_bind_int64(insertAccessStmt_, 2,
+                       static_cast<int64_t>(record.device));
+    sqlite3_bind_int64(insertAccessStmt_, 3,
+                       static_cast<int64_t>(record.rb));
+    sqlite3_bind_int64(insertAccessStmt_, 4,
+                       static_cast<int64_t>(record.wb));
+    sqlite3_bind_int64(insertAccessStmt_, 5, record.ots);
+    sqlite3_bind_int64(insertAccessStmt_, 6, record.otms);
+    sqlite3_bind_int64(insertAccessStmt_, 7, record.cts);
+    sqlite3_bind_int64(insertAccessStmt_, 8, record.ctms);
+    sqlite3_bind_double(insertAccessStmt_, 9, record.throughput);
+    if (sqlite3_step(insertAccessStmt_) != SQLITE_DONE)
+        fatal("ReplayDb: insertAccess: %s", sqlite3_errmsg(db_));
+    return sqlite3_last_insert_rowid(db_);
+}
+
+void
+ReplayDb::insertAccesses(const std::vector<PerfRecord> &records)
+{
+    exec("BEGIN TRANSACTION;");
+    for (const PerfRecord &rec : records)
+        insertAccess(rec);
+    exec("COMMIT;");
+}
+
+int64_t
+ReplayDb::accessCount() const
+{
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, "SELECT COUNT(*) FROM accesses;", -1, &stmt,
+                           nullptr) != SQLITE_OK)
+        fatal("ReplayDb: accessCount: %s", sqlite3_errmsg(db_));
+    int64_t count = 0;
+    if (sqlite3_step(stmt) == SQLITE_ROW)
+        count = sqlite3_column_int64(stmt, 0);
+    sqlite3_finalize(stmt);
+    return count;
+}
+
+std::vector<PerfRecord>
+ReplayDb::queryAccesses(const std::string &sql, int64_t bind0,
+                        size_t limit) const
+{
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql.c_str(), -1, &stmt, nullptr) !=
+        SQLITE_OK)
+        fatal("ReplayDb: query: %s", sqlite3_errmsg(db_));
+    int index = 1;
+    if (bind0 >= 0)
+        sqlite3_bind_int64(stmt, index++, bind0);
+    sqlite3_bind_int64(stmt, index, static_cast<int64_t>(limit));
+    std::vector<PerfRecord> records;
+    while (sqlite3_step(stmt) == SQLITE_ROW)
+        records.push_back(readAccessRow(stmt));
+    sqlite3_finalize(stmt);
+    // Queries select newest-first for the LIMIT; return oldest-first.
+    std::reverse(records.begin(), records.end());
+    return records;
+}
+
+std::vector<PerfRecord>
+ReplayDb::recentAccesses(size_t limit) const
+{
+    return queryAccesses(
+        strprintf("SELECT %s FROM accesses ORDER BY id DESC LIMIT ?;",
+                  kAccessColumns),
+        -1, limit);
+}
+
+std::vector<PerfRecord>
+ReplayDb::recentAccessesForDevice(storage::DeviceId device,
+                                  size_t limit) const
+{
+    return queryAccesses(
+        strprintf("SELECT %s FROM accesses WHERE device_id = ?"
+                  " ORDER BY id DESC LIMIT ?;",
+                  kAccessColumns),
+        static_cast<int64_t>(device), limit);
+}
+
+std::vector<PerfRecord>
+ReplayDb::recentAccessesForFile(storage::FileId file, size_t limit) const
+{
+    return queryAccesses(
+        strprintf("SELECT %s FROM accesses WHERE file_id = ?"
+                  " ORDER BY id DESC LIMIT ?;",
+                  kAccessColumns),
+        static_cast<int64_t>(file), limit);
+}
+
+bool
+ReplayDb::latestAccessForFile(storage::FileId file, PerfRecord &out) const
+{
+    std::vector<PerfRecord> records = recentAccessesForFile(file, 1);
+    if (records.empty())
+        return false;
+    out = records.front();
+    return true;
+}
+
+std::vector<std::pair<storage::DeviceId, double>>
+ReplayDb::deviceThroughput(size_t limit) const
+{
+    const char *sql =
+        "SELECT device_id, AVG(throughput) FROM"
+        " (SELECT device_id, throughput FROM accesses"
+        "  ORDER BY id DESC LIMIT ?)"
+        " GROUP BY device_id;";
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql, -1, &stmt, nullptr) != SQLITE_OK)
+        fatal("ReplayDb: deviceThroughput: %s", sqlite3_errmsg(db_));
+    sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(limit));
+    std::vector<std::pair<storage::DeviceId, double>> result;
+    while (sqlite3_step(stmt) == SQLITE_ROW) {
+        result.emplace_back(
+            static_cast<storage::DeviceId>(sqlite3_column_int64(stmt, 0)),
+            sqlite3_column_double(stmt, 1));
+    }
+    sqlite3_finalize(stmt);
+    return result;
+}
+
+int64_t
+ReplayDb::insertMovement(const MovementRecord &movement)
+{
+    sqlite3_reset(insertMovementStmt_);
+    sqlite3_bind_double(insertMovementStmt_, 1, movement.timestamp);
+    sqlite3_bind_int64(insertMovementStmt_, 2,
+                       static_cast<int64_t>(movement.file));
+    sqlite3_bind_int64(insertMovementStmt_, 3,
+                       static_cast<int64_t>(movement.fromDevice));
+    sqlite3_bind_int64(insertMovementStmt_, 4,
+                       static_cast<int64_t>(movement.toDevice));
+    sqlite3_bind_int64(insertMovementStmt_, 5,
+                       static_cast<int64_t>(movement.bytes));
+    sqlite3_bind_double(insertMovementStmt_, 6, movement.seconds);
+    if (sqlite3_step(insertMovementStmt_) != SQLITE_DONE)
+        fatal("ReplayDb: insertMovement: %s", sqlite3_errmsg(db_));
+    return sqlite3_last_insert_rowid(db_);
+}
+
+int64_t
+ReplayDb::movementCount() const
+{
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, "SELECT COUNT(*) FROM movements;", -1,
+                           &stmt, nullptr) != SQLITE_OK)
+        fatal("ReplayDb: movementCount: %s", sqlite3_errmsg(db_));
+    int64_t count = 0;
+    if (sqlite3_step(stmt) == SQLITE_ROW)
+        count = sqlite3_column_int64(stmt, 0);
+    sqlite3_finalize(stmt);
+    return count;
+}
+
+namespace {
+
+MovementRecord
+readMovementRow(sqlite3_stmt *stmt)
+{
+    MovementRecord rec;
+    rec.id = sqlite3_column_int64(stmt, 0);
+    rec.timestamp = sqlite3_column_double(stmt, 1);
+    rec.file =
+        static_cast<storage::FileId>(sqlite3_column_int64(stmt, 2));
+    rec.fromDevice =
+        static_cast<storage::DeviceId>(sqlite3_column_int64(stmt, 3));
+    rec.toDevice =
+        static_cast<storage::DeviceId>(sqlite3_column_int64(stmt, 4));
+    rec.bytes = static_cast<uint64_t>(sqlite3_column_int64(stmt, 5));
+    rec.seconds = sqlite3_column_double(stmt, 6);
+    return rec;
+}
+
+} // namespace
+
+std::vector<MovementRecord>
+ReplayDb::movementsBetween(double begin, double end) const
+{
+    const char *sql =
+        "SELECT id, timestamp, file_id, from_device, to_device, bytes,"
+        " seconds FROM movements WHERE timestamp >= ? AND timestamp < ?"
+        " ORDER BY id ASC;";
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql, -1, &stmt, nullptr) != SQLITE_OK)
+        fatal("ReplayDb: movementsBetween: %s", sqlite3_errmsg(db_));
+    sqlite3_bind_double(stmt, 1, begin);
+    sqlite3_bind_double(stmt, 2, end);
+    std::vector<MovementRecord> records;
+    while (sqlite3_step(stmt) == SQLITE_ROW)
+        records.push_back(readMovementRow(stmt));
+    sqlite3_finalize(stmt);
+    return records;
+}
+
+std::vector<MovementRecord>
+ReplayDb::recentMovements(size_t limit) const
+{
+    const char *sql =
+        "SELECT id, timestamp, file_id, from_device, to_device, bytes,"
+        " seconds FROM movements ORDER BY id DESC LIMIT ?;";
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql, -1, &stmt, nullptr) != SQLITE_OK)
+        fatal("ReplayDb: recentMovements: %s", sqlite3_errmsg(db_));
+    sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(limit));
+    std::vector<MovementRecord> records;
+    while (sqlite3_step(stmt) == SQLITE_ROW)
+        records.push_back(readMovementRow(stmt));
+    sqlite3_finalize(stmt);
+    std::reverse(records.begin(), records.end());
+    return records;
+}
+
+void
+ReplayDb::clear()
+{
+    exec("DELETE FROM accesses;");
+    exec("DELETE FROM movements;");
+}
+
+std::string
+ReplayDb::exportAccessesCsv() const
+{
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.writeRow({"file_id", "device_id", "rb", "wb", "ots", "otms",
+                     "cts", "ctms", "throughput"});
+    // Stream in id order; the window helper returns oldest-first when
+    // given the full count.
+    size_t total = static_cast<size_t>(accessCount());
+    for (const PerfRecord &rec : recentAccesses(total)) {
+        writer.writeRow({
+            std::to_string(rec.file), std::to_string(rec.device),
+            std::to_string(rec.rb), std::to_string(rec.wb),
+            std::to_string(rec.ots), std::to_string(rec.otms),
+            std::to_string(rec.cts), std::to_string(rec.ctms),
+            strprintf("%.17g", rec.throughput),
+        });
+    }
+    return os.str();
+}
+
+size_t
+ReplayDb::importAccessesCsv(const std::string &csv)
+{
+    std::vector<std::vector<std::string>> rows = parseCsv(csv);
+    if (rows.empty())
+        return 0;
+    std::vector<PerfRecord> records;
+    constexpr size_t kColumns = 9;
+    for (size_t i = 1; i < rows.size(); ++i) { // skip header
+        const auto &row = rows[i];
+        if (row.size() != kColumns) {
+            warn("importAccessesCsv: row %zu has %zu fields, expected "
+                 "%zu", i, row.size(), kColumns);
+            continue;
+        }
+        PerfRecord rec;
+        size_t c = 0;
+        rec.file = std::stoull(row[c++]);
+        rec.device = static_cast<storage::DeviceId>(std::stoul(row[c++]));
+        rec.rb = std::stoull(row[c++]);
+        rec.wb = std::stoull(row[c++]);
+        rec.ots = std::stoll(row[c++]);
+        rec.otms = std::stoll(row[c++]);
+        rec.cts = std::stoll(row[c++]);
+        rec.ctms = std::stoll(row[c++]);
+        rec.throughput = std::stod(row[c++]);
+        records.push_back(rec);
+    }
+    insertAccesses(records);
+    return records.size();
+}
+
+} // namespace core
+} // namespace geo

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The ReplayDB: Geomancy's SQLite-backed performance history.
+ *
+ * As in the paper (Section V-A), the ReplayDB lives outside the target
+ * system, stores every performance sample the monitoring agents
+ * collect, and records each layout action with a timestamp so the
+ * evolution of layout vs. performance can be replayed. Training batches
+ * are windows of the most recent accesses.
+ */
+
+#ifndef GEO_CORE_REPLAY_DB_HH
+#define GEO_CORE_REPLAY_DB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/perf_record.hh"
+
+struct sqlite3;
+struct sqlite3_stmt;
+
+namespace geo {
+namespace core {
+
+/** A recorded layout action (file movement). */
+struct MovementRecord
+{
+    int64_t id = 0;
+    double timestamp = 0.0;
+    storage::FileId file = 0;
+    storage::DeviceId fromDevice = 0;
+    storage::DeviceId toDevice = 0;
+    uint64_t bytes = 0;
+    double seconds = 0.0; ///< transfer duration
+};
+
+/**
+ * SQLite-backed store of performance and movement history.
+ */
+class ReplayDb
+{
+  public:
+    /**
+     * Open (creating schema if needed).
+     * @param path file path, or ":memory:" for an in-memory database.
+     */
+    explicit ReplayDb(const std::string &path = ":memory:");
+    ~ReplayDb();
+
+    ReplayDb(const ReplayDb &) = delete;
+    ReplayDb &operator=(const ReplayDb &) = delete;
+
+    /** Insert one access sample; returns its row id. */
+    int64_t insertAccess(const PerfRecord &record);
+
+    /** Insert many samples in one transaction. */
+    void insertAccesses(const std::vector<PerfRecord> &records);
+
+    /** Total stored access samples. */
+    int64_t accessCount() const;
+
+    /**
+     * The most recent `limit` accesses, oldest first (ready to use as
+     * a chronological training window).
+     */
+    std::vector<PerfRecord> recentAccesses(size_t limit) const;
+
+    /** Most recent `limit` accesses observed on one device. */
+    std::vector<PerfRecord> recentAccessesForDevice(
+        storage::DeviceId device, size_t limit) const;
+
+    /** Most recent `limit` accesses of one file. */
+    std::vector<PerfRecord> recentAccessesForFile(storage::FileId file,
+                                                  size_t limit) const;
+
+    /** The single most recent access of a file, if any. */
+    bool latestAccessForFile(storage::FileId file, PerfRecord &out) const;
+
+    /** Mean measured throughput per device over the last `limit`
+     *  samples (devices with no samples are absent). */
+    std::vector<std::pair<storage::DeviceId, double>>
+    deviceThroughput(size_t limit) const;
+
+    /** Record a layout action. */
+    int64_t insertMovement(const MovementRecord &movement);
+
+    int64_t movementCount() const;
+
+    /** All movements with timestamp in [begin, end), oldest first. */
+    std::vector<MovementRecord> movementsBetween(double begin,
+                                                 double end) const;
+
+    /** Most recent `limit` movements, oldest first. */
+    std::vector<MovementRecord> recentMovements(size_t limit) const;
+
+    /** Delete all stored data (used between experiment phases). */
+    void clear();
+
+    /**
+     * Export all access samples as CSV (header + one row per access,
+     * oldest first) — the operations-side escape hatch for analyzing
+     * a run with external tooling.
+     */
+    std::string exportAccessesCsv() const;
+
+    /**
+     * Import access samples from CSV produced by exportAccessesCsv()
+     * (row ids are reassigned). @return rows imported.
+     */
+    size_t importAccessesCsv(const std::string &csv);
+
+  private:
+    sqlite3 *db_ = nullptr;
+    sqlite3_stmt *insertAccessStmt_ = nullptr;
+    sqlite3_stmt *insertMovementStmt_ = nullptr;
+
+    void exec(const std::string &sql);
+    std::vector<PerfRecord> queryAccesses(const std::string &sql,
+                                          int64_t bind0, size_t limit) const;
+};
+
+} // namespace core
+} // namespace geo
+
+#endif // GEO_CORE_REPLAY_DB_HH

@@ -1,0 +1,94 @@
+#include "nn/activation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace nn {
+
+std::string
+activationName(Activation act)
+{
+    switch (act) {
+      case Activation::Linear:
+        return "linear";
+      case Activation::ReLU:
+        return "relu";
+      case Activation::Sigmoid:
+        return "sigmoid";
+      case Activation::Tanh:
+        return "tanh";
+    }
+    panic("unknown activation %d", static_cast<int>(act));
+}
+
+Activation
+activationFromName(const std::string &name)
+{
+    if (name == "linear")
+        return Activation::Linear;
+    if (name == "relu")
+        return Activation::ReLU;
+    if (name == "sigmoid")
+        return Activation::Sigmoid;
+    if (name == "tanh")
+        return Activation::Tanh;
+    panic("unknown activation name '%s'", name.c_str());
+}
+
+double
+activate(Activation act, double x)
+{
+    switch (act) {
+      case Activation::Linear:
+        return x;
+      case Activation::ReLU:
+        return x > 0.0 ? x : 0.0;
+      case Activation::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-x));
+      case Activation::Tanh:
+        return std::tanh(x);
+    }
+    panic("unknown activation %d", static_cast<int>(act));
+}
+
+double
+activateDerivative(Activation act, double x)
+{
+    switch (act) {
+      case Activation::Linear:
+        return 1.0;
+      case Activation::ReLU:
+        return x > 0.0 ? 1.0 : 0.0;
+      case Activation::Sigmoid: {
+        double s = 1.0 / (1.0 + std::exp(-x));
+        return s * (1.0 - s);
+      }
+      case Activation::Tanh: {
+        double t = std::tanh(x);
+        return 1.0 - t * t;
+      }
+    }
+    panic("unknown activation %d", static_cast<int>(act));
+}
+
+Matrix
+applyActivation(Activation act, const Matrix &input)
+{
+    if (act == Activation::Linear)
+        return input;
+    return input.map([act](double x) { return activate(act, x); });
+}
+
+Matrix
+activationDerivative(Activation act, const Matrix &pre_activation)
+{
+    if (act == Activation::Linear)
+        return Matrix(pre_activation.rows(), pre_activation.cols(), 1.0);
+    return pre_activation.map(
+        [act](double x) { return activateDerivative(act, x); });
+}
+
+} // namespace nn
+} // namespace geo

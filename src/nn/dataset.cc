@@ -1,0 +1,41 @@
+#include "nn/dataset.hh"
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace nn {
+
+Dataset
+Dataset::slice(size_t begin, size_t end) const
+{
+    if (inputs.rows() != targets.rows())
+        panic("Dataset::slice: %zu inputs vs %zu targets", inputs.rows(),
+              targets.rows());
+    Dataset out;
+    out.inputs = inputs.rowRange(begin, end);
+    out.targets = targets.rowRange(begin, end);
+    return out;
+}
+
+DataSplit
+chronologicalSplit(const Dataset &data, double train_frac, double val_frac)
+{
+    if (train_frac <= 0.0 || val_frac < 0.0 ||
+        train_frac + val_frac >= 1.0) {
+        panic("chronologicalSplit: bad fractions %f / %f", train_frac,
+              val_frac);
+    }
+    size_t n = data.size();
+    size_t train_end = static_cast<size_t>(
+        static_cast<double>(n) * train_frac);
+    size_t val_end = static_cast<size_t>(
+        static_cast<double>(n) * (train_frac + val_frac));
+    DataSplit split;
+    split.train = data.slice(0, train_end);
+    split.validation = data.slice(train_end, val_end);
+    split.test = data.slice(val_end, n);
+    return split;
+}
+
+} // namespace nn
+} // namespace geo

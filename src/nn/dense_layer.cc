@@ -1,0 +1,70 @@
+#include "nn/dense_layer.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace nn {
+
+DenseLayer::DenseLayer(size_t input_size, size_t output_size, Activation act,
+                       Rng &rng)
+    : weights_(input_size, output_size), bias_(1, output_size),
+      gradWeights_(input_size, output_size), gradBias_(1, output_size),
+      act_(act)
+{
+    if (input_size == 0 || output_size == 0)
+        panic("DenseLayer: zero dimension (%zu x %zu)", input_size,
+              output_size);
+    if (act == Activation::ReLU)
+        weights_.fillHeNormal(rng, input_size);
+    else
+        weights_.fillXavierUniform(rng, input_size, output_size);
+}
+
+Matrix
+DenseLayer::forward(const Matrix &input, bool training)
+{
+    if (input.cols() != weights_.rows())
+        panic("DenseLayer::forward: input width %zu != %zu", input.cols(),
+              weights_.rows());
+    Matrix pre = input.matmul(weights_).addRowBroadcast(bias_);
+    if (training) {
+        cachedInput_ = input;
+        cachedPreAct_ = pre;
+    }
+    return applyActivation(act_, pre);
+}
+
+Matrix
+DenseLayer::backward(const Matrix &grad_output)
+{
+    if (cachedInput_.empty())
+        panic("DenseLayer::backward without a training forward pass");
+    Matrix grad_pre =
+        grad_output.hadamard(activationDerivative(act_, cachedPreAct_));
+    gradWeights_ += cachedInput_.transposed().matmul(grad_pre);
+    gradBias_ += grad_pre.columnSums();
+    return grad_pre.matmul(weights_.transposed());
+}
+
+std::vector<Matrix *>
+DenseLayer::parameters()
+{
+    return {&weights_, &bias_};
+}
+
+std::vector<Matrix *>
+DenseLayer::gradients()
+{
+    return {&gradWeights_, &gradBias_};
+}
+
+std::string
+DenseLayer::describe() const
+{
+    return strprintf("%zu (Dense) %s", outputSize(),
+                     activationName(act_).c_str());
+}
+
+} // namespace nn
+} // namespace geo

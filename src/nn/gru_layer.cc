@@ -1,0 +1,155 @@
+#include "nn/gru_layer.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace nn {
+
+GruLayer::GruLayer(size_t features_per_step, size_t timesteps,
+                   size_t hidden_size, Activation act, Rng &rng)
+    : features_(features_per_step), timesteps_(timesteps),
+      hidden_(hidden_size), act_(act)
+{
+    if (features_ == 0 || timesteps_ == 0 || hidden_ == 0)
+        panic("GruLayer: zero dimension (%zu, %zu, %zu)", features_,
+              timesteps_, hidden_);
+    for (Matrix *w : {&wu_, &wr_, &wn_}) {
+        *w = Matrix(features_, hidden_);
+        w->fillXavierUniform(rng, features_, hidden_);
+    }
+    for (Matrix *r : {&ru_, &rr_, &rn_}) {
+        *r = Matrix(hidden_, hidden_);
+        r->fillNormal(rng, 0.5 / std::sqrt(static_cast<double>(hidden_)));
+    }
+    for (Matrix *b : {&bu_, &br_, &bn_})
+        *b = Matrix(1, hidden_);
+    for (Matrix *g : {&gradWu_, &gradWr_, &gradWn_})
+        *g = Matrix(features_, hidden_);
+    for (Matrix *g : {&gradRu_, &gradRr_, &gradRn_})
+        *g = Matrix(hidden_, hidden_);
+    for (Matrix *g : {&gradBu_, &gradBr_, &gradBn_})
+        *g = Matrix(1, hidden_);
+}
+
+Matrix
+GruLayer::forward(const Matrix &input, bool training)
+{
+    if (input.cols() != inputSize())
+        panic("GruLayer::forward: input width %zu != %zu", input.cols(),
+              inputSize());
+    size_t batch = input.rows();
+    Matrix h(batch, hidden_);
+    if (training) {
+        cache_.clear();
+        cache_.reserve(timesteps_);
+    }
+    for (size_t t = 0; t < timesteps_; ++t) {
+        Matrix xt = input.colRange(t * features_, (t + 1) * features_);
+        Matrix u = applyActivation(
+            Activation::Sigmoid,
+            (xt.matmul(wu_) + h.matmul(ru_)).addRowBroadcast(bu_));
+        Matrix r = applyActivation(
+            Activation::Sigmoid,
+            (xt.matmul(wr_) + h.matmul(rr_)).addRowBroadcast(br_));
+        Matrix rh = r.hadamard(h);
+        Matrix n_pre = (xt.matmul(wn_) + rh.matmul(rn_)).addRowBroadcast(bn_);
+        Matrix n = applyActivation(act_, n_pre);
+        // h_t = (1 - u) . h_prev + u . n
+        Matrix one_minus_u = u.map([](double v) { return 1.0 - v; });
+        Matrix h_next = one_minus_u.hadamard(h) + u.hadamard(n);
+        if (training) {
+            StepCache sc;
+            sc.x = std::move(xt);
+            sc.hPrev = h;
+            sc.u = std::move(u);
+            sc.r = std::move(r);
+            sc.n = std::move(n);
+            sc.nPre = std::move(n_pre);
+            sc.rh = std::move(rh);
+            cache_.push_back(std::move(sc));
+        }
+        h = std::move(h_next);
+    }
+    return h;
+}
+
+Matrix
+GruLayer::backward(const Matrix &grad_output)
+{
+    if (cache_.size() != timesteps_)
+        panic("GruLayer::backward without a training forward pass");
+    size_t batch = grad_output.rows();
+    Matrix grad_input(batch, inputSize());
+    Matrix dh = grad_output;
+
+    auto sigmoid_grad = [](const Matrix &s) {
+        return s.map([](double v) { return v * (1.0 - v); });
+    };
+
+    for (size_t t = timesteps_; t-- > 0;) {
+        const StepCache &sc = cache_[t];
+
+        // h_t = (1 - u) . h_prev + u . n
+        Matrix d_u = dh.hadamard(sc.n - sc.hPrev);
+        Matrix d_n = dh.hadamard(sc.u);
+        Matrix dh_prev =
+            dh.hadamard(sc.u.map([](double v) { return 1.0 - v; }));
+
+        Matrix d_n_pre = d_n.hadamard(activationDerivative(act_, sc.nPre));
+        Matrix d_rh = d_n_pre.matmul(rn_.transposed());
+        Matrix d_r = d_rh.hadamard(sc.hPrev);
+        dh_prev += d_rh.hadamard(sc.r);
+
+        Matrix d_u_pre = d_u.hadamard(sigmoid_grad(sc.u));
+        Matrix d_r_pre = d_r.hadamard(sigmoid_grad(sc.r));
+
+        Matrix x_t = sc.x.transposed();
+        Matrix h_prev_t = sc.hPrev.transposed();
+        gradWu_ += x_t.matmul(d_u_pre);
+        gradWr_ += x_t.matmul(d_r_pre);
+        gradWn_ += x_t.matmul(d_n_pre);
+        gradRu_ += h_prev_t.matmul(d_u_pre);
+        gradRr_ += h_prev_t.matmul(d_r_pre);
+        gradRn_ += sc.rh.transposed().matmul(d_n_pre);
+        gradBu_ += d_u_pre.columnSums();
+        gradBr_ += d_r_pre.columnSums();
+        gradBn_ += d_n_pre.columnSums();
+
+        dh_prev += d_u_pre.matmul(ru_.transposed());
+        dh_prev += d_r_pre.matmul(rr_.transposed());
+
+        Matrix dx = d_u_pre.matmul(wu_.transposed());
+        dx += d_r_pre.matmul(wr_.transposed());
+        dx += d_n_pre.matmul(wn_.transposed());
+        grad_input.setBlock(0, t * features_, dx);
+
+        dh = std::move(dh_prev);
+    }
+    (void)batch;
+    return grad_input;
+}
+
+std::vector<Matrix *>
+GruLayer::parameters()
+{
+    return {&wu_, &wr_, &wn_, &ru_, &rr_, &rn_, &bu_, &br_, &bn_};
+}
+
+std::vector<Matrix *>
+GruLayer::gradients()
+{
+    return {&gradWu_, &gradWr_, &gradWn_, &gradRu_, &gradRr_, &gradRn_,
+            &gradBu_, &gradBr_, &gradBn_};
+}
+
+std::string
+GruLayer::describe() const
+{
+    return strprintf("%zu (GRU) %s", hidden_, activationName(act_).c_str());
+}
+
+} // namespace nn
+} // namespace geo

@@ -1,0 +1,56 @@
+#include "nn/loss.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace nn {
+
+namespace {
+
+void
+checkShapes(const Matrix &a, const Matrix &b, const char *who)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        panic("%s: shape mismatch %zux%zu vs %zux%zu", who, a.rows(),
+              a.cols(), b.rows(), b.cols());
+    if (a.size() == 0)
+        panic("%s: empty batch", who);
+}
+
+} // namespace
+
+double
+MseLoss::value(const Matrix &predictions, const Matrix &targets)
+{
+    checkShapes(predictions, targets, "MseLoss::value");
+    double total = 0.0;
+    for (size_t i = 0; i < predictions.size(); ++i) {
+        double d = predictions.data()[i] - targets.data()[i];
+        total += d * d;
+    }
+    return total / static_cast<double>(predictions.size());
+}
+
+Matrix
+MseLoss::gradient(const Matrix &predictions, const Matrix &targets)
+{
+    checkShapes(predictions, targets, "MseLoss::gradient");
+    Matrix grad = predictions - targets;
+    grad *= 2.0 / static_cast<double>(predictions.size());
+    return grad;
+}
+
+double
+MaeLoss::value(const Matrix &predictions, const Matrix &targets)
+{
+    checkShapes(predictions, targets, "MaeLoss::value");
+    double total = 0.0;
+    for (size_t i = 0; i < predictions.size(); ++i)
+        total += std::fabs(predictions.data()[i] - targets.data()[i]);
+    return total / static_cast<double>(predictions.size());
+}
+
+} // namespace nn
+} // namespace geo

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Loss functions. The DRL engine trains throughput regression with MSE.
+ */
+
+#ifndef GEO_NN_LOSS_HH
+#define GEO_NN_LOSS_HH
+
+#include "nn/matrix.hh"
+
+namespace geo {
+namespace nn {
+
+/**
+ * Mean squared error over all elements of a batch.
+ */
+class MseLoss
+{
+  public:
+    /** Loss value: mean((pred - target)^2). */
+    static double value(const Matrix &predictions, const Matrix &targets);
+
+    /** Gradient of the loss with respect to the predictions. */
+    static Matrix gradient(const Matrix &predictions, const Matrix &targets);
+};
+
+/**
+ * Mean absolute error (used for reporting and the paper's MAE-based
+ * prediction adjustment, Section V-G).
+ */
+class MaeLoss
+{
+  public:
+    static double value(const Matrix &predictions, const Matrix &targets);
+};
+
+} // namespace nn
+} // namespace geo
+
+#endif // GEO_NN_LOSS_HH

@@ -1,0 +1,168 @@
+#include "nn/lstm_layer.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace nn {
+
+LstmLayer::LstmLayer(size_t features_per_step, size_t timesteps,
+                     size_t hidden_size, Activation act, Rng &rng)
+    : features_(features_per_step), timesteps_(timesteps),
+      hidden_(hidden_size), act_(act)
+{
+    if (features_ == 0 || timesteps_ == 0 || hidden_ == 0)
+        panic("LstmLayer: zero dimension (%zu, %zu, %zu)", features_,
+              timesteps_, hidden_);
+    size_t in = hidden_ + features_;
+    for (Matrix *w : {&wi_, &wf_, &wo_, &wg_}) {
+        *w = Matrix(in, hidden_);
+        w->fillXavierUniform(rng, in, hidden_);
+    }
+    for (Matrix *b : {&bi_, &bo_, &bg_})
+        *b = Matrix(1, hidden_);
+    // Standard trick: bias the forget gate open so early training does
+    // not wipe the cell state.
+    bf_ = Matrix(1, hidden_, 1.0);
+    for (Matrix *g : {&gradWi_, &gradWf_, &gradWo_, &gradWg_})
+        *g = Matrix(in, hidden_);
+    for (Matrix *g : {&gradBi_, &gradBf_, &gradBo_, &gradBg_})
+        *g = Matrix(1, hidden_);
+}
+
+Matrix
+LstmLayer::concat(const Matrix &h_prev, const Matrix &x_t) const
+{
+    Matrix z(h_prev.rows(), hidden_ + features_);
+    z.setBlock(0, 0, h_prev);
+    z.setBlock(0, hidden_, x_t);
+    return z;
+}
+
+Matrix
+LstmLayer::forward(const Matrix &input, bool training)
+{
+    if (input.cols() != inputSize())
+        panic("LstmLayer::forward: input width %zu != %zu", input.cols(),
+              inputSize());
+    size_t batch = input.rows();
+    Matrix h(batch, hidden_);
+    Matrix c(batch, hidden_);
+    if (training) {
+        cache_.clear();
+        cache_.reserve(timesteps_);
+        cachedCPrev0_ = Matrix(batch, hidden_);
+    }
+    for (size_t t = 0; t < timesteps_; ++t) {
+        Matrix xt = input.colRange(t * features_, (t + 1) * features_);
+        Matrix z = concat(h, xt);
+        Matrix i = applyActivation(Activation::Sigmoid,
+                                   z.matmul(wi_).addRowBroadcast(bi_));
+        Matrix f = applyActivation(Activation::Sigmoid,
+                                   z.matmul(wf_).addRowBroadcast(bf_));
+        Matrix o = applyActivation(Activation::Sigmoid,
+                                   z.matmul(wo_).addRowBroadcast(bo_));
+        Matrix g_pre = z.matmul(wg_).addRowBroadcast(bg_);
+        Matrix g = applyActivation(act_, g_pre);
+        Matrix c_next = f.hadamard(c) + i.hadamard(g);
+        Matrix c_act = applyActivation(act_, c_next);
+        Matrix h_next = o.hadamard(c_act);
+        if (training) {
+            StepCache sc;
+            sc.z = std::move(z);
+            sc.i = i;
+            sc.f = f;
+            sc.o = o;
+            sc.g = g;
+            sc.gPre = std::move(g_pre);
+            sc.c = c_next;
+            sc.cAct = c_act;
+            sc.cActPre = c_next;
+            cache_.push_back(std::move(sc));
+        }
+        c = std::move(c_next);
+        h = std::move(h_next);
+    }
+    return h;
+}
+
+Matrix
+LstmLayer::backward(const Matrix &grad_output)
+{
+    if (cache_.size() != timesteps_)
+        panic("LstmLayer::backward without a training forward pass");
+    size_t batch = grad_output.rows();
+    Matrix grad_input(batch, inputSize());
+    Matrix dh = grad_output;
+    Matrix dc(batch, hidden_);
+
+    auto sigmoid_grad = [](const Matrix &s) {
+        return s.map([](double v) { return v * (1.0 - v); });
+    };
+
+    for (size_t t = timesteps_; t-- > 0;) {
+        const StepCache &sc = cache_[t];
+        const Matrix &c_prev = (t == 0) ? cachedCPrev0_ : cache_[t - 1].c;
+
+        // h_t = o . act(c_t)
+        Matrix d_o = dh.hadamard(sc.cAct);
+        dc += dh.hadamard(sc.o).hadamard(
+            activationDerivative(act_, sc.cActPre));
+
+        // c_t = f . c_{t-1} + i . g
+        Matrix d_i = dc.hadamard(sc.g);
+        Matrix d_g = dc.hadamard(sc.i);
+        Matrix d_f = dc.hadamard(c_prev);
+        Matrix dc_prev = dc.hadamard(sc.f);
+
+        Matrix d_i_pre = d_i.hadamard(sigmoid_grad(sc.i));
+        Matrix d_f_pre = d_f.hadamard(sigmoid_grad(sc.f));
+        Matrix d_o_pre = d_o.hadamard(sigmoid_grad(sc.o));
+        Matrix d_g_pre = d_g.hadamard(activationDerivative(act_, sc.gPre));
+
+        Matrix z_t = sc.z.transposed();
+        gradWi_ += z_t.matmul(d_i_pre);
+        gradWf_ += z_t.matmul(d_f_pre);
+        gradWo_ += z_t.matmul(d_o_pre);
+        gradWg_ += z_t.matmul(d_g_pre);
+        gradBi_ += d_i_pre.columnSums();
+        gradBf_ += d_f_pre.columnSums();
+        gradBo_ += d_o_pre.columnSums();
+        gradBg_ += d_g_pre.columnSums();
+
+        Matrix dz = d_i_pre.matmul(wi_.transposed());
+        dz += d_f_pre.matmul(wf_.transposed());
+        dz += d_o_pre.matmul(wo_.transposed());
+        dz += d_g_pre.matmul(wg_.transposed());
+
+        dh = dz.colRange(0, hidden_);
+        grad_input.setBlock(0, t * features_,
+                            dz.colRange(hidden_, hidden_ + features_));
+        dc = std::move(dc_prev);
+    }
+    return grad_input;
+}
+
+std::vector<Matrix *>
+LstmLayer::parameters()
+{
+    return {&wi_, &wf_, &wo_, &wg_, &bi_, &bf_, &bo_, &bg_};
+}
+
+std::vector<Matrix *>
+LstmLayer::gradients()
+{
+    return {&gradWi_, &gradWf_, &gradWo_, &gradWg_,
+            &gradBi_, &gradBf_, &gradBo_, &gradBg_};
+}
+
+std::string
+LstmLayer::describe() const
+{
+    return strprintf("%zu (LSTM) %s", hidden_, activationName(act_).c_str());
+}
+
+} // namespace nn
+} // namespace geo

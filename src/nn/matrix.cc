@@ -1,0 +1,281 @@
+#include "nn/matrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace nn {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows.front().size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m.cols_)
+            panic("fromRows: ragged row %zu (%zu vs %zu)", r, rows[r].size(),
+                  m.cols_);
+        for (size_t c = 0; c < m.cols_; ++c)
+            m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::rowVector(const std::vector<double> &values)
+{
+    Matrix m(1, values.size());
+    m.data_ = values;
+    return m;
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::matmul(const Matrix &other) const
+{
+    if (cols_ != other.rows_)
+        panic("matmul shape mismatch: %zux%zu * %zux%zu", rows_, cols_,
+              other.rows_, other.cols_);
+    Matrix out(rows_, other.cols_);
+    // ikj loop order: the inner loop strides contiguously through both
+    // the output row and the rhs row, which matters for larger layers.
+    for (size_t i = 0; i < rows_; ++i) {
+        const double *lhs_row = &data_[i * cols_];
+        double *out_row = &out.data_[i * other.cols_];
+        for (size_t k = 0; k < cols_; ++k) {
+            double lhs = lhs_row[k];
+            if (lhs == 0.0)
+                continue;
+            const double *rhs_row = &other.data_[k * other.cols_];
+            for (size_t j = 0; j < other.cols_; ++j)
+                out_row[j] += lhs * rhs_row[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out.data_[c * rows_ + r] = data_[r * cols_ + c];
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    Matrix out = *this;
+    out += other;
+    return out;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("operator+= shape mismatch: %zux%zu vs %zux%zu", rows_, cols_,
+              other.rows_, other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    Matrix out = *this;
+    out -= other;
+    return out;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("operator-= shape mismatch: %zux%zu vs %zux%zu", rows_, cols_,
+              other.rows_, other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Matrix
+Matrix::hadamard(const Matrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("hadamard shape mismatch: %zux%zu vs %zux%zu", rows_, cols_,
+              other.rows_, other.cols_);
+    Matrix out = *this;
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] *= other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(double scalar) const
+{
+    Matrix out = *this;
+    out *= scalar;
+    return out;
+}
+
+Matrix &
+Matrix::operator*=(double scalar)
+{
+    for (double &v : data_)
+        v *= scalar;
+    return *this;
+}
+
+Matrix
+Matrix::addRowBroadcast(const Matrix &rowvec) const
+{
+    if (rowvec.rows_ != 1 || rowvec.cols_ != cols_)
+        panic("addRowBroadcast: bias is %zux%zu, need 1x%zu", rowvec.rows_,
+              rowvec.cols_, cols_);
+    Matrix out = *this;
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out.data_[r * cols_ + c] += rowvec.data_[c];
+    return out;
+}
+
+Matrix
+Matrix::columnSums() const
+{
+    Matrix out(1, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out.data_[c] += data_[r * cols_ + c];
+    return out;
+}
+
+Matrix
+Matrix::row(size_t r) const
+{
+    return rowRange(r, r + 1);
+}
+
+Matrix
+Matrix::rowRange(size_t begin, size_t end) const
+{
+    if (begin > end || end > rows_)
+        panic("rowRange [%zu, %zu) out of %zu rows", begin, end, rows_);
+    Matrix out(end - begin, cols_);
+    std::copy(data_.begin() + static_cast<long>(begin * cols_),
+              data_.begin() + static_cast<long>(end * cols_),
+              out.data_.begin());
+    return out;
+}
+
+Matrix
+Matrix::colRange(size_t begin, size_t end) const
+{
+    if (begin > end || end > cols_)
+        panic("colRange [%zu, %zu) out of %zu cols", begin, end, cols_);
+    Matrix out(rows_, end - begin);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = begin; c < end; ++c)
+            out.data_[r * out.cols_ + (c - begin)] = data_[r * cols_ + c];
+    return out;
+}
+
+void
+Matrix::setBlock(size_t r0, size_t c0, const Matrix &block)
+{
+    if (r0 + block.rows_ > rows_ || c0 + block.cols_ > cols_)
+        panic("setBlock %zux%zu at (%zu, %zu) overflows %zux%zu",
+              block.rows_, block.cols_, r0, c0, rows_, cols_);
+    for (size_t r = 0; r < block.rows_; ++r)
+        for (size_t c = 0; c < block.cols_; ++c)
+            data_[(r0 + r) * cols_ + (c0 + c)] =
+                block.data_[r * block.cols_ + c];
+}
+
+Matrix
+Matrix::map(const std::function<double(double)> &fn) const
+{
+    Matrix out = *this;
+    for (double &v : out.data_)
+        v = fn(v);
+    return out;
+}
+
+void
+Matrix::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+void
+Matrix::fillNormal(Rng &rng, double stddev)
+{
+    for (double &v : data_)
+        v = rng.normal(0.0, stddev);
+}
+
+void
+Matrix::fillHeNormal(Rng &rng, size_t fan_in)
+{
+    fillNormal(rng, std::sqrt(2.0 / static_cast<double>(fan_in ? fan_in : 1)));
+}
+
+void
+Matrix::fillXavierUniform(Rng &rng, size_t fan_in, size_t fan_out)
+{
+    double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (double &v : data_)
+        v = rng.uniform(-limit, limit);
+}
+
+double
+Matrix::norm() const
+{
+    double total = 0.0;
+    for (double v : data_)
+        total += v * v;
+    return std::sqrt(total);
+}
+
+bool
+Matrix::hasNonFinite() const
+{
+    for (double v : data_)
+        if (!std::isfinite(v))
+            return true;
+    return false;
+}
+
+} // namespace nn
+} // namespace geo

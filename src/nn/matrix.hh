@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Dense row-major matrix of doubles.
+ *
+ * This is the numerical workhorse of the from-scratch neural-network
+ * library. It intentionally supports only what the layers need: matmul,
+ * transpose, elementwise arithmetic, row/column reductions and random
+ * initialization. All shape violations are programming errors and panic.
+ */
+
+#ifndef GEO_NN_MATRIX_HH
+#define GEO_NN_MATRIX_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace geo {
+
+class Rng;
+
+namespace nn {
+
+/**
+ * Row-major matrix of doubles with shape-checked operations.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialized. */
+    Matrix(size_t rows, size_t cols);
+
+    /** rows x cols matrix filled with `fill`. */
+    Matrix(size_t rows, size_t cols, double fill);
+
+    /** Build from nested initializer data (rows of equal length). */
+    static Matrix fromRows(
+        const std::vector<std::vector<double>> &rows);
+
+    /** A single-row matrix wrapping a vector. */
+    static Matrix rowVector(const std::vector<double> &values);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double &at(size_t r, size_t c);
+    double at(size_t r, size_t c) const;
+
+    double &operator()(size_t r, size_t c) { return at(r, c); }
+    double operator()(size_t r, size_t c) const { return at(r, c); }
+
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+    /** Matrix product this(r,k) * other(k,c). */
+    Matrix matmul(const Matrix &other) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Elementwise sum (shapes must match). */
+    Matrix operator+(const Matrix &other) const;
+    Matrix &operator+=(const Matrix &other);
+
+    /** Elementwise difference (shapes must match). */
+    Matrix operator-(const Matrix &other) const;
+    Matrix &operator-=(const Matrix &other);
+
+    /** Elementwise (Hadamard) product. */
+    Matrix hadamard(const Matrix &other) const;
+
+    /** Scalar multiply. */
+    Matrix operator*(double scalar) const;
+    Matrix &operator*=(double scalar);
+
+    /** Add a 1 x cols row vector to every row (bias broadcast). */
+    Matrix addRowBroadcast(const Matrix &row) const;
+
+    /** Column-wise sums as a 1 x cols matrix. */
+    Matrix columnSums() const;
+
+    /** Copy of row r as a 1 x cols matrix. */
+    Matrix row(size_t r) const;
+
+    /** Copy rows [begin, end) as an (end-begin) x cols matrix. */
+    Matrix rowRange(size_t begin, size_t end) const;
+
+    /** Copy columns [begin, end). */
+    Matrix colRange(size_t begin, size_t end) const;
+
+    /** Paste `block` so its top-left lands at (r0, c0). */
+    void setBlock(size_t r0, size_t c0, const Matrix &block);
+
+    /** Apply a scalar function to every element (returns copy). */
+    Matrix map(const std::function<double(double)> &fn) const;
+
+    /** Set every element to zero. */
+    void zero();
+
+    /** Fill with N(0, stddev) noise. */
+    void fillNormal(Rng &rng, double stddev);
+
+    /** He-normal initialization: N(0, sqrt(2 / fan_in)). */
+    void fillHeNormal(Rng &rng, size_t fan_in);
+
+    /** Xavier/Glorot-uniform initialization. */
+    void fillXavierUniform(Rng &rng, size_t fan_in, size_t fan_out);
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** True if any element is NaN or infinite. */
+    bool hasNonFinite() const;
+
+    bool operator==(const Matrix &other) const = default;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace nn
+} // namespace geo
+
+#endif // GEO_NN_MATRIX_HH

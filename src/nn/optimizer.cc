@@ -1,0 +1,84 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace nn {
+
+SgdOptimizer::SgdOptimizer(double lr, double clip_norm)
+    : Optimizer(lr), clipNorm_(clip_norm)
+{
+}
+
+void
+SgdOptimizer::step(const std::vector<Matrix *> &params,
+                   const std::vector<Matrix *> &grads)
+{
+    if (params.size() != grads.size())
+        panic("SgdOptimizer::step: %zu params vs %zu grads", params.size(),
+              grads.size());
+    double scale = 1.0;
+    if (clipNorm_ > 0.0) {
+        double total = 0.0;
+        for (const Matrix *g : grads) {
+            double n = g->norm();
+            total += n * n;
+        }
+        double norm = std::sqrt(total);
+        if (norm > clipNorm_)
+            scale = clipNorm_ / norm;
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+        Matrix &p = *params[i];
+        const Matrix &g = *grads[i];
+        if (p.rows() != g.rows() || p.cols() != g.cols())
+            panic("SgdOptimizer::step: shape mismatch at tensor %zu", i);
+        for (size_t j = 0; j < p.size(); ++j)
+            p.data()[j] -= lr_ * scale * g.data()[j];
+    }
+}
+
+AdamOptimizer::AdamOptimizer(double lr, double beta1, double beta2,
+                             double epsilon)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon)
+{
+}
+
+void
+AdamOptimizer::step(const std::vector<Matrix *> &params,
+                    const std::vector<Matrix *> &grads)
+{
+    if (params.size() != grads.size())
+        panic("AdamOptimizer::step: %zu params vs %zu grads", params.size(),
+              grads.size());
+    if (m_.empty()) {
+        for (const Matrix *p : params) {
+            m_.emplace_back(p->rows(), p->cols());
+            v_.emplace_back(p->rows(), p->cols());
+        }
+    }
+    if (m_.size() != params.size())
+        panic("AdamOptimizer::step: parameter list changed size");
+    ++t_;
+    double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (size_t i = 0; i < params.size(); ++i) {
+        Matrix &p = *params[i];
+        const Matrix &g = *grads[i];
+        Matrix &m = m_[i];
+        Matrix &v = v_[i];
+        for (size_t j = 0; j < p.size(); ++j) {
+            double grad = g.data()[j];
+            m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * grad;
+            v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * grad * grad;
+            double mhat = m.data()[j] / bias1;
+            double vhat = v.data()[j] / bias2;
+            p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+        }
+    }
+}
+
+} // namespace nn
+} // namespace geo

@@ -1,0 +1,231 @@
+#include "nn/sequential.hh"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "nn/loss.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace geo {
+namespace nn {
+
+void
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    if (!layer)
+        panic("Sequential::add: null layer");
+    if (!layers_.empty() &&
+        layers_.back()->outputSize() != layer->inputSize()) {
+        panic("Sequential::add: layer input %zu != previous output %zu",
+              layer->inputSize(), layers_.back()->outputSize());
+    }
+    layers_.push_back(std::move(layer));
+}
+
+size_t
+Sequential::inputSize() const
+{
+    if (layers_.empty())
+        panic("Sequential::inputSize on empty model");
+    return layers_.front()->inputSize();
+}
+
+size_t
+Sequential::outputSize() const
+{
+    if (layers_.empty())
+        panic("Sequential::outputSize on empty model");
+    return layers_.back()->outputSize();
+}
+
+Matrix
+Sequential::predict(const Matrix &inputs)
+{
+    Matrix x = inputs;
+    for (auto &layer : layers_)
+        x = layer->forward(x, /*training=*/false);
+    return x;
+}
+
+Matrix
+Sequential::forward(const Matrix &inputs)
+{
+    Matrix x = inputs;
+    for (auto &layer : layers_)
+        x = layer->forward(x, /*training=*/true);
+    return x;
+}
+
+Matrix
+Sequential::backward(const Matrix &grad_output)
+{
+    Matrix g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+std::vector<Matrix *>
+Sequential::parameters()
+{
+    std::vector<Matrix *> all;
+    for (auto &layer : layers_)
+        for (Matrix *p : layer->parameters())
+            all.push_back(p);
+    return all;
+}
+
+std::vector<Matrix *>
+Sequential::gradients()
+{
+    std::vector<Matrix *> all;
+    for (auto &layer : layers_)
+        for (Matrix *g : layer->gradients())
+            all.push_back(g);
+    return all;
+}
+
+void
+Sequential::zeroGrad()
+{
+    for (auto &layer : layers_)
+        layer->zeroGrad();
+}
+
+size_t
+Sequential::parameterCount()
+{
+    size_t total = 0;
+    for (auto &layer : layers_)
+        total += layer->parameterCount();
+    return total;
+}
+
+double
+Sequential::trainBatch(const Matrix &inputs, const Matrix &targets,
+                       Optimizer &opt)
+{
+    zeroGrad();
+    Matrix predictions = forward(inputs);
+    double loss = MseLoss::value(predictions, targets);
+    backward(MseLoss::gradient(predictions, targets));
+    opt.step(parameters(), gradients());
+    return loss;
+}
+
+TrainResult
+Sequential::train(const Dataset &train_data, const Dataset &validation,
+                  Optimizer &opt, const TrainOptions &options)
+{
+    if (train_data.empty())
+        panic("Sequential::train: empty training set");
+    if (options.batchSize == 0)
+        panic("Sequential::train: batchSize must be >= 1");
+
+    TrainResult result;
+    auto start = std::chrono::steady_clock::now();
+
+    size_t n = train_data.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    Rng shuffle_rng(options.shuffleSeed);
+
+    double best_val = std::numeric_limits<double>::infinity();
+    size_t stale = 0;
+
+    for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        if (options.shuffle)
+            shuffle_rng.shuffle(order);
+
+        StatAccumulator epoch_loss;
+        for (size_t begin = 0; begin < n; begin += options.batchSize) {
+            size_t end = std::min(begin + options.batchSize, n);
+            Matrix batch_in(end - begin, train_data.inputs.cols());
+            Matrix batch_tgt(end - begin, train_data.targets.cols());
+            for (size_t i = begin; i < end; ++i) {
+                batch_in.setBlock(i - begin, 0,
+                                  train_data.inputs.row(order[i]));
+                batch_tgt.setBlock(i - begin, 0,
+                                   train_data.targets.row(order[i]));
+            }
+            double loss = trainBatch(batch_in, batch_tgt, opt);
+            if (!std::isfinite(loss)) {
+                result.diverged = true;
+                break;
+            }
+            epoch_loss.add(loss);
+        }
+        if (result.diverged)
+            break;
+
+        result.trainLoss.push_back(epoch_loss.mean());
+        if (!validation.empty()) {
+            double val = evaluate(validation);
+            result.validationLoss.push_back(val);
+            if (!std::isfinite(val)) {
+                result.diverged = true;
+                break;
+            }
+            if (options.earlyStopPatience > 0) {
+                if (val < best_val - options.earlyStopMinDelta) {
+                    best_val = val;
+                    stale = 0;
+                } else if (++stale >= options.earlyStopPatience) {
+                    break;
+                }
+            }
+        }
+    }
+
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    result.seconds =
+        std::chrono::duration<double>(elapsed).count();
+    return result;
+}
+
+double
+Sequential::evaluate(const Dataset &data)
+{
+    if (data.empty())
+        panic("Sequential::evaluate: empty dataset");
+    return MseLoss::value(predict(data.inputs), data.targets);
+}
+
+std::string
+Sequential::describe() const
+{
+    std::string out;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += layers_[i]->describe();
+    }
+    return out;
+}
+
+bool
+Sequential::looksDiverged(const Dataset &probe)
+{
+    if (probe.empty())
+        return false;
+    Matrix predictions = predict(probe.inputs);
+    if (predictions.hasNonFinite())
+        return true;
+    // Constant predictions against varying targets = collapsed model
+    // ("the same prediction happening over and over again").
+    StatAccumulator pred_stats, target_stats;
+    for (double v : predictions.data())
+        pred_stats.add(v);
+    for (double v : probe.targets.data())
+        target_stats.add(v);
+    if (target_stats.stddev() <= 0.0)
+        return false;
+    return pred_stats.stddev() < 1e-6 * (std::fabs(pred_stats.mean()) + 1.0);
+}
+
+} // namespace nn
+} // namespace geo

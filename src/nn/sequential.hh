@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Sequential model container with a training loop.
+ *
+ * This is the "DRL engine" substrate: a stack of layers trained by MSE
+ * regression of access throughput. Divergence detection matches the
+ * paper's Table II reporting (a model that collapses to a constant or
+ * produces non-finite values is flagged as diverged).
+ */
+
+#ifndef GEO_NN_SEQUENTIAL_HH
+#define GEO_NN_SEQUENTIAL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.hh"
+#include "nn/layer.hh"
+#include "nn/optimizer.hh"
+
+namespace geo {
+namespace nn {
+
+/** Result of a full training run. */
+struct TrainResult
+{
+    std::vector<double> trainLoss;      ///< per-epoch training loss
+    std::vector<double> validationLoss; ///< per-epoch validation loss
+    bool diverged = false;              ///< non-finite loss encountered
+    double seconds = 0.0;               ///< wall-clock training time
+};
+
+/** Knobs for Sequential::train. */
+struct TrainOptions
+{
+    size_t epochs = 200;   ///< paper: 200 epochs for the model search
+    size_t batchSize = 32;
+    bool shuffle = false;  ///< chronological batches by default
+    uint64_t shuffleSeed = 1;
+    /** Stop early when validation loss has not improved for N epochs
+     *  (0 disables). */
+    size_t earlyStopPatience = 0;
+    /** Minimum absolute validation-loss improvement that counts as
+     *  progress for early stopping. */
+    double earlyStopMinDelta = 0.0;
+};
+
+/**
+ * A stack of layers applied in order.
+ */
+class Sequential
+{
+  public:
+    Sequential() = default;
+
+    // Models own their layers; moving is fine, copying is not.
+    Sequential(const Sequential &) = delete;
+    Sequential &operator=(const Sequential &) = delete;
+    Sequential(Sequential &&) = default;
+    Sequential &operator=(Sequential &&) = default;
+
+    /** Append a layer; its input width must match the current output. */
+    void add(std::unique_ptr<Layer> layer);
+
+    size_t layerCount() const { return layers_.size(); }
+    Layer &layer(size_t i) { return *layers_.at(i); }
+    const Layer &layer(size_t i) const { return *layers_.at(i); }
+
+    size_t inputSize() const;
+    size_t outputSize() const;
+
+    /** Forward pass without caching (inference). */
+    Matrix predict(const Matrix &inputs);
+
+    /** Forward pass caching state for backward(). */
+    Matrix forward(const Matrix &inputs);
+
+    /** Backward pass; returns gradient w.r.t. the inputs. */
+    Matrix backward(const Matrix &grad_output);
+
+    /** All parameters across layers. */
+    std::vector<Matrix *> parameters();
+
+    /** All gradients across layers (aligned with parameters()). */
+    std::vector<Matrix *> gradients();
+
+    void zeroGrad();
+
+    /** Total scalar parameter count. */
+    size_t parameterCount();
+
+    /**
+     * Train with MSE loss.
+     *
+     * @param train training examples (consumed in mini-batches).
+     * @param validation validation examples (may be empty).
+     * @param opt optimizer (state persists across calls).
+     * @param options epoch/batch configuration.
+     */
+    TrainResult train(const Dataset &train, const Dataset &validation,
+                      Optimizer &opt, const TrainOptions &options);
+
+    /** One gradient step on a single batch; returns the batch loss. */
+    double trainBatch(const Matrix &inputs, const Matrix &targets,
+                      Optimizer &opt);
+
+    /** MSE over a dataset. */
+    double evaluate(const Dataset &data);
+
+    /** "layer, layer, ..." summary matching the paper's Table I format. */
+    std::string describe() const;
+
+    /**
+     * Check for divergence per the paper: predictions on `probe` are
+     * non-finite or essentially constant while targets are not.
+     */
+    bool looksDiverged(const Dataset &probe);
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace nn
+} // namespace geo
+
+#endif // GEO_NN_SEQUENTIAL_HH

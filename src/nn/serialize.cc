@@ -1,0 +1,104 @@
+#include "nn/serialize.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace nn {
+
+namespace {
+
+constexpr const char *kMagic = "geomancy-nn-v1";
+
+/** Topology fingerprint: layer types and parameter shapes. */
+std::string
+fingerprint(Sequential &model)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < model.layerCount(); ++i) {
+        Layer &layer = model.layer(i);
+        os << layer.typeName() << ':' << layer.inputSize() << "->"
+           << layer.outputSize() << ';';
+    }
+    return os.str();
+}
+
+} // namespace
+
+bool
+saveWeights(Sequential &model, std::ostream &os)
+{
+    os << kMagic << '\n';
+    os << fingerprint(model) << '\n';
+    std::vector<Matrix *> params = model.parameters();
+    os << params.size() << '\n';
+    os.precision(17);
+    for (const Matrix *p : params) {
+        os << p->rows() << ' ' << p->cols();
+        for (double v : p->data())
+            os << ' ' << v;
+        os << '\n';
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+loadWeights(Sequential &model, std::istream &is)
+{
+    std::string magic;
+    if (!std::getline(is, magic) || magic != kMagic) {
+        warn("loadWeights: bad magic '%s'", magic.c_str());
+        return false;
+    }
+    std::string fp;
+    if (!std::getline(is, fp) || fp != fingerprint(model)) {
+        warn("loadWeights: topology mismatch");
+        return false;
+    }
+    size_t count = 0;
+    if (!(is >> count))
+        return false;
+    std::vector<Matrix *> params = model.parameters();
+    if (count != params.size()) {
+        warn("loadWeights: %zu tensors in file, model has %zu", count,
+             params.size());
+        return false;
+    }
+    for (Matrix *p : params) {
+        size_t rows = 0, cols = 0;
+        if (!(is >> rows >> cols))
+            return false;
+        if (rows != p->rows() || cols != p->cols()) {
+            warn("loadWeights: tensor shape %zux%zu, expected %zux%zu",
+                 rows, cols, p->rows(), p->cols());
+            return false;
+        }
+        for (double &v : p->data())
+            if (!(is >> v))
+                return false;
+    }
+    return true;
+}
+
+bool
+saveWeightsFile(Sequential &model, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    return saveWeights(model, os);
+}
+
+bool
+loadWeightsFile(Sequential &model, const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    return loadWeights(model, is);
+}
+
+} // namespace nn
+} // namespace geo

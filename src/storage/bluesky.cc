@@ -1,0 +1,155 @@
+#include "storage/bluesky.hh"
+
+namespace geo {
+namespace storage {
+
+const std::vector<std::string> &
+blueskyMountNames()
+{
+    static const std::vector<std::string> names = {
+        "file0", "pic", "people", "tmp", "var", "USBtmp",
+    };
+    return names;
+}
+
+std::vector<DeviceConfig>
+blueskyDeviceConfigs(uint64_t traffic_seed)
+{
+    std::vector<DeviceConfig> configs;
+
+    // file0: RAID-5. Fast reads, parity-penalized writes, little
+    // external traffic ("saw the least amount of external traffic").
+    {
+        DeviceConfig d;
+        d.name = "file0";
+        d.readBandwidth = 9.6e9;
+        d.writeBandwidth = 2.4e9;
+        d.accessLatency = 0.0015;
+        d.selfLoadWeight = 1.0;
+        d.capacityBytes = 2ULL << 40;
+        d.traffic = {.baseLoad = 0.05,
+                     .diurnalAmplitude = 0.25,
+                     .periodSeconds = 240.0,
+                     .burstProbability = 0.04,
+                     .burstMagnitude = 2.0,
+                     .burstSeconds = 90.0,
+                     .noiseAmplitude = 0.04,
+                     .seed = traffic_seed * 11 + 1};
+        configs.push_back(d);
+    }
+
+    // pic: Lustre scratch. Fast, but heavily shared by other users.
+    {
+        DeviceConfig d;
+        d.name = "pic";
+        d.readBandwidth = 3.8e9;
+        d.writeBandwidth = 3.0e9;
+        d.accessLatency = 0.003;
+        d.selfLoadWeight = 1.2;
+        d.capacityBytes = 10ULL << 40;
+        d.traffic = {.baseLoad = 0.35,
+                     .diurnalAmplitude = 1.1,
+                     .periodSeconds = 240.0,
+                     .burstProbability = 0.12,
+                     .burstMagnitude = 3.0,
+                     .burstSeconds = 80.0,
+                     .noiseAmplitude = 0.05,
+                     .seed = traffic_seed * 11 + 2};
+        configs.push_back(d);
+    }
+
+    // people: NFS home over 10 GbE. Heavily shared; other users can
+    // stall it for long stretches.
+    {
+        DeviceConfig d;
+        d.name = "people";
+        d.readBandwidth = 3.3e9;
+        d.writeBandwidth = 2.2e9;
+        d.accessLatency = 0.004;
+        d.selfLoadWeight = 1.2;
+        d.capacityBytes = 1ULL << 40;
+        d.traffic = {.baseLoad = 0.4,
+                     .diurnalAmplitude = 1.3,
+                     .periodSeconds = 240.0,
+                     .burstProbability = 0.15,
+                     .burstMagnitude = 3.5,
+                     .burstSeconds = 120.0,
+                     .noiseAmplitude = 0.05,
+                     .seed = traffic_seed * 11 + 3};
+        configs.push_back(d);
+    }
+
+    // tmp: RAID-1 scratch.
+    {
+        DeviceConfig d;
+        d.name = "tmp";
+        d.readBandwidth = 2.5e9;
+        d.writeBandwidth = 1.3e9;
+        d.accessLatency = 0.002;
+        d.selfLoadWeight = 1.0;
+        d.capacityBytes = 512ULL << 30;
+        d.traffic = {.baseLoad = 0.10,
+                     .diurnalAmplitude = 0.25,
+                     .periodSeconds = 240.0,
+                     .burstProbability = 0.05,
+                     .burstMagnitude = 2.5,
+                     .burstSeconds = 60.0,
+                     .noiseAmplitude = 0.04,
+                     .seed = traffic_seed * 11 + 4};
+        configs.push_back(d);
+    }
+
+    // var: RAID-1, slower spindles.
+    {
+        DeviceConfig d;
+        d.name = "var";
+        d.readBandwidth = 1.9e9;
+        d.writeBandwidth = 1.0e9;
+        d.accessLatency = 0.002;
+        d.selfLoadWeight = 1.0;
+        d.capacityBytes = 256ULL << 30;
+        d.traffic = {.baseLoad = 0.25,
+                     .diurnalAmplitude = 0.7,
+                     .periodSeconds = 240.0,
+                     .burstProbability = 0.08,
+                     .burstMagnitude = 2.5,
+                     .burstSeconds = 60.0,
+                     .noiseAmplitude = 0.04,
+                     .seed = traffic_seed * 11 + 5};
+        configs.push_back(d);
+    }
+
+    // USBtmp: externally mounted HDD. Slow but effectively private.
+    {
+        DeviceConfig d;
+        d.name = "USBtmp";
+        d.readBandwidth = 0.72e9;
+        d.writeBandwidth = 0.55e9;
+        d.accessLatency = 0.009;
+        d.selfLoadWeight = 1.0;
+        d.capacityBytes = 1ULL << 40;
+        d.traffic = {.baseLoad = 0.02,
+                     .diurnalAmplitude = 0.05,
+                     .periodSeconds = 240.0,
+                     .burstProbability = 0.01,
+                     .burstMagnitude = 1.0,
+                     .burstSeconds = 30.0,
+                     .noiseAmplitude = 0.03,
+                     .seed = traffic_seed * 11 + 6};
+        configs.push_back(d);
+    }
+
+    return configs;
+}
+
+std::unique_ptr<StorageSystem>
+makeBlueskySystem(uint64_t traffic_seed)
+{
+    auto system = std::make_unique<StorageSystem>();
+    for (const DeviceConfig &config : blueskyDeviceConfigs(traffic_seed))
+        system->addDevice(config);
+    return system;
+}
+
+} // namespace storage
+} // namespace geo

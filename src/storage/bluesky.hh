@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The Bluesky testbed preset (paper Section III, Fig. 1).
+ *
+ * Six mounts on one computation node:
+ *  - file0:  RAID-5, fastest reads, strong read/write imbalance, and
+ *            the least external traffic during the experiments;
+ *  - pic:    Lustre, fast but heavily shared;
+ *  - people: NFS home over 10 GbE, heavily shared with long-latency
+ *            bursts from other users;
+ *  - tmp:    RAID-1 scratch, moderate speed and sharing;
+ *  - var:    RAID-1, slower, moderate sharing;
+ *  - USBtmp: externally mounted HDD, slowest, effectively private.
+ *
+ * Bandwidths are calibrated so that single-mount runs of the BELLE II
+ * workload land near the paper's Table IV averages (file0 ~7.6 GB/s
+ * down to USBtmp ~0.6 GB/s).
+ */
+
+#ifndef GEO_STORAGE_BLUESKY_HH
+#define GEO_STORAGE_BLUESKY_HH
+
+#include <memory>
+
+#include "storage/system.hh"
+
+namespace geo {
+namespace storage {
+
+/** Mount names of the Bluesky preset, fastest reads first. */
+const std::vector<std::string> &blueskyMountNames();
+
+/** Device configurations of the six Bluesky mounts. */
+std::vector<DeviceConfig> blueskyDeviceConfigs(uint64_t traffic_seed = 7);
+
+/**
+ * Build a StorageSystem with the six Bluesky mounts (no files yet).
+ *
+ * @param traffic_seed decorrelates the external-traffic processes;
+ *        runs with the same seed see identical contention dynamics.
+ */
+std::unique_ptr<StorageSystem> makeBlueskySystem(uint64_t traffic_seed = 7);
+
+} // namespace storage
+} // namespace geo
+
+#endif // GEO_STORAGE_BLUESKY_HH

@@ -1,0 +1,120 @@
+#include "storage/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace storage {
+
+StorageDevice::StorageDevice(DeviceId id, const DeviceConfig &config)
+    : id_(id), config_(config), traffic_(config.traffic)
+{
+    if (config_.readBandwidth <= 0.0 || config_.writeBandwidth <= 0.0)
+        panic("StorageDevice %s: non-positive bandwidth",
+              config_.name.c_str());
+    if (config_.accessLatency < 0.0)
+        panic("StorageDevice %s: negative latency", config_.name.c_str());
+    if (config_.selfLoadTau <= 0.0)
+        panic("StorageDevice %s: non-positive selfLoadTau",
+              config_.name.c_str());
+}
+
+uint64_t
+StorageDevice::freeBytes() const
+{
+    return usedBytes_ >= config_.capacityBytes
+               ? 0
+               : config_.capacityBytes - usedBytes_;
+}
+
+double
+StorageDevice::externalLoad(double at) const
+{
+    return traffic_.load(at);
+}
+
+void
+StorageDevice::decayTo(double at)
+{
+    if (at <= lastBusyUpdate_)
+        return;
+    double dt = at - lastBusyUpdate_;
+    busyLoad_ *= std::exp(-dt / config_.selfLoadTau);
+    lastBusyUpdate_ = at;
+}
+
+double
+StorageDevice::selfLoad(double at) const
+{
+    if (at <= lastBusyUpdate_)
+        return busyLoad_;
+    double dt = at - lastBusyUpdate_;
+    return busyLoad_ * std::exp(-dt / config_.selfLoadTau);
+}
+
+double
+StorageDevice::effectiveBandwidth(bool is_read, double at) const
+{
+    double base = is_read ? config_.readBandwidth : config_.writeBandwidth;
+    double divisor = 1.0 + externalLoad(at) +
+                     config_.selfLoadWeight * selfLoad(at);
+    return base / divisor;
+}
+
+DeviceAccess
+StorageDevice::access(uint64_t bytes, bool is_read, double at)
+{
+    decayTo(at);
+    double bw = effectiveBandwidth(is_read, at);
+    double transfer = static_cast<double>(bytes) / bw;
+    DeviceAccess result;
+    result.duration = config_.accessLatency + transfer;
+    result.throughput = static_cast<double>(bytes) / result.duration;
+    result.loadFactor = externalLoad(at) +
+                        config_.selfLoadWeight * selfLoad(at);
+
+    // The access occupies the device: feed its duration into the
+    // self-contention accumulator (normalized by the time constant so
+    // sustained saturation converges to a load factor near 1).
+    busyLoad_ += result.duration / config_.selfLoadTau;
+
+    throughputStats_.add(result.throughput);
+    ++accessCount_;
+    return result;
+}
+
+void
+StorageDevice::addBusyTime(double at, double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    decayTo(at);
+    busyLoad_ += seconds / config_.selfLoadTau;
+}
+
+bool
+StorageDevice::reserve(uint64_t bytes)
+{
+    if (bytes > freeBytes())
+        return false;
+    usedBytes_ += bytes;
+    return true;
+}
+
+void
+StorageDevice::release(uint64_t bytes)
+{
+    usedBytes_ -= std::min(usedBytes_, bytes);
+}
+
+void
+StorageDevice::resetStats()
+{
+    throughputStats_.reset();
+    accessCount_ = 0;
+}
+
+} // namespace storage
+} // namespace geo

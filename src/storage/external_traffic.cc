@@ -1,0 +1,58 @@
+#include "storage/external_traffic.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace storage {
+
+ExternalTraffic::ExternalTraffic(const ExternalTrafficConfig &config)
+    : config_(config)
+{
+    if (config_.periodSeconds <= 0.0 || config_.burstSeconds <= 0.0)
+        panic("ExternalTraffic: non-positive period or burst duration");
+}
+
+double
+ExternalTraffic::hashUniform(uint64_t bucket, uint64_t salt) const
+{
+    uint64_t state = config_.seed ^ (bucket * 0x9e3779b97f4a7c15ULL) ^
+                     (salt * 0xbf58476d1ce4e5b9ULL);
+    uint64_t value = splitmix64(state);
+    return static_cast<double>(value >> 11) * 0x1.0p-53;
+}
+
+double
+ExternalTraffic::diurnal(double at) const
+{
+    double phase = 2.0 * std::numbers::pi * at / config_.periodSeconds;
+    // Offset the sine so load is non-negative and peaks mid-period.
+    return config_.diurnalAmplitude * 0.5 * (1.0 + std::sin(phase));
+}
+
+bool
+ExternalTraffic::inBurst(double at) const
+{
+    uint64_t bucket = static_cast<uint64_t>(at / config_.burstSeconds);
+    return hashUniform(bucket, 0xb0b) < config_.burstProbability;
+}
+
+double
+ExternalTraffic::load(double at) const
+{
+    if (at < 0.0)
+        at = 0.0;
+    double total = config_.baseLoad + diurnal(at);
+    if (inBurst(at))
+        total += config_.burstMagnitude;
+    uint64_t noise_bucket = static_cast<uint64_t>(at);
+    total += config_.noiseAmplitude *
+             (hashUniform(noise_bucket, 0xda7a) - 0.5) * 2.0;
+    return total < 0.0 ? 0.0 : total;
+}
+
+} // namespace storage
+} // namespace geo

@@ -1,0 +1,289 @@
+#include "storage/system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace storage {
+
+StorageSystem::StorageSystem(SystemConfig config) : config_(config)
+{
+    if (config_.networkBandwidth <= 0.0)
+        panic("StorageSystem: non-positive network bandwidth");
+}
+
+DeviceId
+StorageSystem::addDevice(const DeviceConfig &config)
+{
+    DeviceId id = static_cast<DeviceId>(devices_.size());
+    devices_.emplace_back(id, config);
+    return id;
+}
+
+StorageDevice &
+StorageSystem::device(DeviceId id)
+{
+    if (id >= devices_.size())
+        panic("device %u out of range (%zu devices)", id, devices_.size());
+    return devices_[id];
+}
+
+const StorageDevice &
+StorageSystem::device(DeviceId id) const
+{
+    if (id >= devices_.size())
+        panic("device %u out of range (%zu devices)", id, devices_.size());
+    return devices_[id];
+}
+
+DeviceId
+StorageSystem::deviceByName(const std::string &name) const
+{
+    for (const StorageDevice &dev : devices_)
+        if (dev.name() == name)
+            return dev.id();
+    panic("no device named '%s'", name.c_str());
+}
+
+std::vector<DeviceId>
+StorageSystem::deviceIds() const
+{
+    std::vector<DeviceId> ids(devices_.size());
+    for (size_t i = 0; i < devices_.size(); ++i)
+        ids[i] = static_cast<DeviceId>(i);
+    return ids;
+}
+
+FileId
+StorageSystem::addFile(const std::string &name, uint64_t size_bytes,
+                       DeviceId location)
+{
+    StorageDevice &dev = device(location);
+    if (!dev.reserve(size_bytes))
+        panic("addFile: device %s cannot hold %llu bytes",
+              dev.name().c_str(),
+              static_cast<unsigned long long>(size_bytes));
+    FileObject file;
+    file.id = files_.size();
+    file.name = name;
+    file.sizeBytes = size_bytes;
+    file.location = location;
+    files_.push_back(std::move(file));
+    return files_.back().id;
+}
+
+const FileObject &
+StorageSystem::file(FileId id) const
+{
+    if (id >= files_.size())
+        panic("file %llu out of range (%zu files)",
+              static_cast<unsigned long long>(id), files_.size());
+    return files_[id];
+}
+
+std::vector<FileId>
+StorageSystem::fileIds() const
+{
+    std::vector<FileId> ids(files_.size());
+    for (size_t i = 0; i < files_.size(); ++i)
+        ids[i] = i;
+    return ids;
+}
+
+DeviceId
+StorageSystem::location(FileId id) const
+{
+    return file(id).location;
+}
+
+AccessObservation
+StorageSystem::access(FileId id, uint64_t bytes, bool is_read)
+{
+    const FileObject &f = file(id);
+    StorageDevice &dev = device(f.location);
+
+    double start = clock_.now();
+    DeviceAccess result = dev.access(bytes, is_read, start);
+    clock_.advance(result.duration);
+
+    AccessObservation obs;
+    obs.file = id;
+    obs.device = f.location;
+    obs.readBytes = is_read ? bytes : 0;
+    obs.writtenBytes = is_read ? 0 : bytes;
+    obs.startTime = start;
+    obs.endTime = clock_.now();
+    obs.throughput = result.throughput;
+
+    for (const auto &observer : accessObservers_)
+        observer(obs);
+    return obs;
+}
+
+AccessObservation
+StorageSystem::accessConcurrent(FileId id, uint64_t bytes, bool is_read)
+{
+    const FileObject &f = file(id);
+    StorageDevice &dev = device(f.location);
+
+    double start = clock_.now();
+    DeviceAccess result = dev.access(bytes, is_read, start);
+    // Overlapping client: the device pays, the global clock does not.
+
+    AccessObservation obs;
+    obs.file = id;
+    obs.device = f.location;
+    obs.readBytes = is_read ? bytes : 0;
+    obs.writtenBytes = is_read ? 0 : bytes;
+    obs.startTime = start;
+    obs.endTime = start + result.duration;
+    obs.throughput = result.throughput;
+
+    for (const auto &observer : accessObservers_)
+        observer(obs);
+    return obs;
+}
+
+MoveResult
+StorageSystem::moveFile(FileId id, DeviceId target)
+{
+    FileObject &f = files_.at(id);
+    MoveResult result;
+    result.from = f.location;
+    result.to = target;
+    result.bytes = f.sizeBytes;
+
+    if (target >= devices_.size()) {
+        warn("moveFile: target device %u does not exist", target);
+        return result;
+    }
+    if (target == f.location)
+        return result; // no-op, not an error
+
+    StorageDevice &src = device(f.location);
+    StorageDevice &dst = device(target);
+    if (!dst.writable()) {
+        warn("moveFile: device %s is not writable", dst.name().c_str());
+        return result;
+    }
+    if (!dst.reserve(f.sizeBytes))
+        return result; // destination full
+
+    double now = clock_.now();
+    double bw = std::min({src.effectiveBandwidth(true, now),
+                          dst.effectiveBandwidth(false, now),
+                          config_.networkBandwidth});
+    result.seconds = static_cast<double>(f.sizeBytes) / bw;
+
+    // The copy occupies both devices; contention from migrations is
+    // how the transfer cost shows up in workload throughput.
+    src.addBusyTime(now, result.seconds);
+    dst.addBusyTime(now, result.seconds);
+    if (!config_.backgroundMoves)
+        clock_.advance(result.seconds);
+
+    src.release(f.sizeBytes);
+    f.location = target;
+    result.moved = true;
+    migratedBytes_ += f.sizeBytes;
+    ++migrationCount_;
+
+    for (const auto &observer : moveObservers_)
+        observer(result);
+    return result;
+}
+
+MoveResult
+StorageSystem::moveFileChunked(FileId id, DeviceId target,
+                               uint64_t chunk_bytes)
+{
+    if (chunk_bytes == 0)
+        panic("moveFileChunked: chunk_bytes must be >= 1");
+    FileObject &f = files_.at(id);
+    MoveResult result;
+    result.from = f.location;
+    result.to = target;
+    result.bytes = f.sizeBytes;
+
+    if (target >= devices_.size()) {
+        warn("moveFileChunked: target device %u does not exist", target);
+        return result;
+    }
+    if (target == f.location)
+        return result;
+
+    StorageDevice &src = device(f.location);
+    StorageDevice &dst = device(target);
+    if (!dst.writable()) {
+        warn("moveFileChunked: device %s is not writable",
+             dst.name().c_str());
+        return result;
+    }
+    if (!dst.reserve(f.sizeBytes))
+        return result;
+
+    // Each chunk is priced at the effective bandwidth when it begins,
+    // so a contention episode arriving mid-move lengthens only the
+    // remaining chunks.
+    uint64_t remaining = f.sizeBytes;
+    double chunk_start = clock_.now();
+    while (remaining > 0) {
+        uint64_t chunk = std::min(remaining, chunk_bytes);
+        double bw = std::min({src.effectiveBandwidth(true, chunk_start),
+                              dst.effectiveBandwidth(false, chunk_start),
+                              config_.networkBandwidth});
+        double seconds = static_cast<double>(chunk) / bw;
+        src.addBusyTime(chunk_start, seconds);
+        dst.addBusyTime(chunk_start, seconds);
+        result.seconds += seconds;
+        chunk_start += seconds; // chunks are sequential in time
+        remaining -= chunk;
+    }
+    if (!config_.backgroundMoves)
+        clock_.advance(result.seconds);
+
+    src.release(f.sizeBytes);
+    f.location = target;
+    result.moved = true;
+    migratedBytes_ += f.sizeBytes;
+    ++migrationCount_;
+
+    for (const auto &observer : moveObservers_)
+        observer(result);
+    return result;
+}
+
+void
+StorageSystem::onAccess(
+    std::function<void(const AccessObservation &)> observer)
+{
+    accessObservers_.push_back(std::move(observer));
+}
+
+void
+StorageSystem::onMove(std::function<void(const MoveResult &)> observer)
+{
+    moveObservers_.push_back(std::move(observer));
+}
+
+std::map<FileId, DeviceId>
+StorageSystem::layout() const
+{
+    std::map<FileId, DeviceId> out;
+    for (const FileObject &f : files_)
+        out[f.id] = f.location;
+    return out;
+}
+
+std::vector<size_t>
+StorageSystem::filesPerDevice() const
+{
+    std::vector<size_t> counts(devices_.size(), 0);
+    for (const FileObject &f : files_)
+        ++counts[f.location];
+    return counts;
+}
+
+} // namespace storage
+} // namespace geo

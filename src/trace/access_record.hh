@@ -1,0 +1,89 @@
+/**
+ * @file
+ * One file access in the EOS log format the paper trains from.
+ *
+ * Every entry corresponds to one file interaction, open to close
+ * (Section V-D). The field set below is the subset of the 32 EOS log
+ * values the paper discusses: the six chosen features (rb, wb,
+ * ots/otms, cts/ctms, fid, fsid), the strongly negatively correlated
+ * read/write times it rejects, and the categorical security/application
+ * fields it defers to future work.
+ */
+
+#ifndef GEO_TRACE_ACCESS_RECORD_HH
+#define GEO_TRACE_ACCESS_RECORD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geo {
+namespace trace {
+
+/**
+ * An open-to-close file interaction record.
+ */
+struct AccessRecord
+{
+    uint64_t fid = 0;     ///< file ID
+    uint32_t fsid = 0;    ///< file-system (storage device) ID
+    std::string path;     ///< logical file path
+
+    uint64_t rb = 0;      ///< bytes read
+    uint64_t wb = 0;      ///< bytes written
+
+    int64_t ots = 0;      ///< open timestamp, seconds part
+    int64_t otms = 0;     ///< open timestamp, millisecond part
+    int64_t cts = 0;      ///< close timestamp, seconds part
+    int64_t ctms = 0;     ///< close timestamp, millisecond part
+
+    double rt = 0.0;      ///< cumulative read time (ms)
+    double wt = 0.0;      ///< cumulative write time (ms)
+    uint32_t nrc = 0;     ///< number of read calls
+    uint32_t nwc = 0;     ///< number of write calls
+
+    uint32_t secgrps = 0; ///< client group (categorical code)
+    uint32_t secrole = 0; ///< client role (categorical code)
+    uint32_t secapp = 0;  ///< application identifier (categorical code)
+    uint32_t td = 0;      ///< day of the access (categorical)
+    uint64_t osize = 0;   ///< file size at open
+    uint64_t csize = 0;   ///< file size at close
+
+    /** Open timestamp as fractional seconds. */
+    double openTime() const;
+
+    /** Close timestamp as fractional seconds. */
+    double closeTime() const;
+
+    /** Access duration in seconds (close - open). */
+    double duration() const;
+
+    /**
+     * Throughput of this access per the paper's formula (Section V-C):
+     * (rb + wb) / ((cts + ctms/1000) - (ots + otms/1000)), in bytes/s.
+     * Returns 0 for non-positive durations.
+     */
+    double throughput() const;
+};
+
+/** Names of all numeric features extractable from a record. */
+std::vector<std::string> accessFeatureNames();
+
+/**
+ * Extract the named feature as a double.
+ *
+ * Valid names are those returned by accessFeatureNames(); unknown names
+ * panic (programming error).
+ */
+double accessFeature(const AccessRecord &rec, const std::string &name);
+
+/** Serialize records to CSV (header + one line per record). */
+std::string recordsToCsv(const std::vector<AccessRecord> &records);
+
+/** Parse records from CSV produced by recordsToCsv. */
+std::vector<AccessRecord> recordsFromCsv(const std::string &text);
+
+} // namespace trace
+} // namespace geo
+
+#endif // GEO_TRACE_ACCESS_RECORD_HH

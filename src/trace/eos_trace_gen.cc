@@ -1,0 +1,146 @@
+#include "trace/eos_trace_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+#include "util/sim_clock.hh"
+
+namespace geo {
+namespace trace {
+
+EosTraceGenerator::EosTraceGenerator(const EosTraceConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    if (config_.deviceCount == 0 || config_.fileCount == 0)
+        panic("EosTraceGenerator: empty cluster configuration");
+
+    deviceBandwidth_.reserve(config_.deviceCount);
+    devicePhase_.reserve(config_.deviceCount);
+    for (size_t d = 0; d < config_.deviceCount; ++d) {
+        // Log-uniform spread between the min and max bandwidth, so the
+        // cluster mixes slow archival and fast analysis-pool devices.
+        double frac = config_.deviceCount == 1
+                          ? 1.0
+                          : static_cast<double>(d) /
+                                static_cast<double>(config_.deviceCount - 1);
+        double bw = config_.minBandwidth *
+                    std::pow(config_.maxBandwidth / config_.minBandwidth,
+                             frac);
+        deviceBandwidth_.push_back(bw * rng_.uniform(0.8, 1.2));
+        devicePhase_.push_back(rng_.uniform(0.0, 2.0 * std::numbers::pi));
+    }
+
+    files_.reserve(config_.fileCount);
+    for (size_t f = 0; f < config_.fileCount; ++f) {
+        FileInfo info;
+        uint32_t dir = static_cast<uint32_t>(
+            rng_.uniformInt(0, static_cast<int64_t>(
+                                   config_.directoryCount) - 1));
+        info.path = strprintf("eos/pool%u/run%03zu/data%05zu.root",
+                              dir % 4, static_cast<size_t>(dir),
+                              f);
+        info.sizeBytes = static_cast<uint64_t>(std::max(
+            4096.0, rng_.logNormal(config_.fileSizeLogMean,
+                                   config_.fileSizeLogSigma)));
+        info.homeDevice = static_cast<uint32_t>(rng_.uniformInt(
+            0, static_cast<int64_t>(config_.deviceCount) - 1));
+        info.appClass = static_cast<uint32_t>(rng_.uniformInt(0, 5));
+        files_.push_back(std::move(info));
+    }
+}
+
+double
+EosTraceGenerator::deviceLoad(uint32_t fsid, double at) const
+{
+    // Diurnal cycle (86400 s period) plus a device-specific phase: the
+    // shared analysis pools are busy when their user community is awake.
+    double phase = 2.0 * std::numbers::pi * at / 86400.0 +
+                   devicePhase_[fsid];
+    double diurnal =
+        config_.diurnalAmplitude * 0.5 * (1.0 + std::sin(phase));
+    return diurnal;
+}
+
+const std::string &
+EosTraceGenerator::filePath(uint64_t fid) const
+{
+    if (fid == 0 || fid > files_.size())
+        panic("filePath: fid %llu out of catalog (%zu files)",
+              static_cast<unsigned long long>(fid), files_.size());
+    return files_[fid - 1].path;
+}
+
+std::vector<AccessRecord>
+EosTraceGenerator::generate(size_t count)
+{
+    std::vector<AccessRecord> records;
+    records.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        now_ += rng_.exponential(1.0 / config_.meanInterArrival);
+
+        size_t file_index = static_cast<size_t>(
+            rng_.uniformInt(0, static_cast<int64_t>(files_.size()) - 1));
+        const FileInfo &file = files_[file_index];
+        uint32_t fsid = file.homeDevice;
+
+        AccessRecord rec;
+        rec.fid = file_index + 1;
+        rec.fsid = fsid + 1;
+        rec.path = file.path;
+        rec.td = static_cast<uint32_t>(now_ / 86400.0);
+        rec.secgrps = file.appClass % 3;
+        rec.secrole = static_cast<uint32_t>(rng_.uniformInt(0, 2));
+        rec.secapp = file.appClass;
+        rec.osize = file.sizeBytes;
+
+        bool is_read = rng_.chance(config_.readFraction);
+        double span = rng_.uniform(0.05, 1.0); // fraction of file touched
+        uint64_t bytes = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   span * static_cast<double>(file.sizeBytes)));
+        if (is_read) {
+            rec.rb = bytes;
+            rec.nrc = static_cast<uint32_t>(
+                1 + bytes / (4 << 20)); // ~4 MB per read call
+            rec.csize = file.sizeBytes;
+        } else {
+            rec.wb = bytes;
+            rec.nwc = static_cast<uint32_t>(1 + bytes / (4 << 20));
+            rec.csize = std::max<uint64_t>(file.sizeBytes, bytes);
+        }
+
+        double load = deviceLoad(fsid, now_);
+        if (rng_.chance(config_.burstProbability))
+            load += config_.burstSlowdown;
+        // Writes pay a parity/replication penalty like the paper's
+        // RAID-5 mount.
+        double bw = deviceBandwidth_[fsid] / (1.0 + load);
+        if (!is_read)
+            bw *= 0.55;
+        bw *= rng_.uniform(0.85, 1.15); // measurement noise
+
+        double transfer = static_cast<double>(bytes) / bw;
+        double duration = config_.openOverhead *
+                              rng_.uniform(0.5, 2.0) +
+                          transfer;
+        if (is_read)
+            rec.rt = transfer * 1000.0;
+        else
+            rec.wt = transfer * 1000.0;
+
+        SplitTime open_ts = splitSeconds(now_);
+        SplitTime close_ts = splitSeconds(now_ + duration);
+        rec.ots = open_ts.seconds;
+        rec.otms = open_ts.millis;
+        rec.cts = close_ts.seconds;
+        rec.ctms = close_ts.millis;
+
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+} // namespace trace
+} // namespace geo

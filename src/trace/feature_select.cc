@@ -1,0 +1,81 @@
+#include "trace/feature_select.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace geo {
+namespace trace {
+
+const std::vector<std::string> &
+paperSelectedFeatures()
+{
+    // rb, wb, open and close timestamps, file ID and filesystem ID:
+    // the six features of Section V-D (ms parts folded into the
+    // fractional timestamps by the feature-matrix builder).
+    static const std::vector<std::string> features = {
+        "rb", "wb", "ots", "cts", "fid", "fsid",
+    };
+    return features;
+}
+
+const std::vector<std::string> &
+cernFeatureSet()
+{
+    // The 13-metric configuration used when modeling the CERN EOS logs.
+    static const std::vector<std::string> features = {
+        "rb",   "wb",     "ots",     "otms",   "cts",  "ctms", "fid",
+        "fsid", "nrc",    "nwc",     "secapp", "td",   "osize",
+    };
+    return features;
+}
+
+std::vector<FeatureCorrelation>
+correlateFeatures(const std::vector<AccessRecord> &records,
+                  const std::vector<std::string> &chosen)
+{
+    if (records.empty())
+        panic("correlateFeatures: no records");
+    std::vector<double> throughput;
+    throughput.reserve(records.size());
+    for (const AccessRecord &rec : records)
+        throughput.push_back(rec.throughput());
+
+    std::vector<FeatureCorrelation> result;
+    for (const std::string &name : accessFeatureNames()) {
+        std::vector<double> values;
+        values.reserve(records.size());
+        for (const AccessRecord &rec : records)
+            values.push_back(accessFeature(rec, name));
+        FeatureCorrelation fc;
+        fc.name = name;
+        fc.correlation = pearson(values, throughput);
+        fc.chosen = std::find(chosen.begin(), chosen.end(), name) !=
+                    chosen.end();
+        result.push_back(std::move(fc));
+    }
+    std::sort(result.begin(), result.end(),
+              [](const FeatureCorrelation &a, const FeatureCorrelation &b) {
+                  return a.correlation > b.correlation;
+              });
+    return result;
+}
+
+std::vector<std::string>
+selectTopFeatures(const std::vector<AccessRecord> &records, size_t k)
+{
+    std::vector<FeatureCorrelation> all =
+        correlateFeatures(records, {});
+    std::sort(all.begin(), all.end(),
+              [](const FeatureCorrelation &a, const FeatureCorrelation &b) {
+                  return std::abs(a.correlation) > std::abs(b.correlation);
+              });
+    std::vector<std::string> names;
+    for (size_t i = 0; i < std::min(k, all.size()); ++i)
+        names.push_back(all[i].name);
+    return names;
+}
+
+} // namespace trace
+} // namespace geo

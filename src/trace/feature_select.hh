@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Correlation-driven feature screening (paper Section V-D, Fig. 4).
+ *
+ * Computes the Pearson correlation of every numeric access feature
+ * against the measured throughput and ranks them. The paper selects the
+ * six features that are both reasonably correlated and "commonly found
+ * in scientific systems": rb, wb, open/close timestamps, fid and fsid.
+ */
+
+#ifndef GEO_TRACE_FEATURE_SELECT_HH
+#define GEO_TRACE_FEATURE_SELECT_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/access_record.hh"
+
+namespace geo {
+namespace trace {
+
+/** Correlation of one feature against throughput. */
+struct FeatureCorrelation
+{
+    std::string name;
+    double correlation = 0.0;
+    bool chosen = false; ///< one of the paper's six selected features
+};
+
+/** The paper's six live-experiment features (Z = 6). */
+const std::vector<std::string> &paperSelectedFeatures();
+
+/** The wider 13-feature set used for the CERN EOS configuration. */
+const std::vector<std::string> &cernFeatureSet();
+
+/**
+ * Pearson correlation of every feature vs throughput, sorted by
+ * descending correlation. Features in `chosen` are flagged.
+ */
+std::vector<FeatureCorrelation> correlateFeatures(
+    const std::vector<AccessRecord> &records,
+    const std::vector<std::string> &chosen = paperSelectedFeatures());
+
+/**
+ * Select the `k` features with the largest |correlation|.
+ */
+std::vector<std::string> selectTopFeatures(
+    const std::vector<AccessRecord> &records, size_t k);
+
+} // namespace trace
+} // namespace geo
+
+#endif // GEO_TRACE_FEATURE_SELECT_HH

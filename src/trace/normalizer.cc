@@ -1,0 +1,94 @@
+#include "trace/normalizer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace trace {
+
+void
+MinMaxNormalizer::fit(const nn::Matrix &data)
+{
+    mins_.clear();
+    maxs_.clear();
+    update(data);
+}
+
+void
+MinMaxNormalizer::update(const nn::Matrix &data)
+{
+    if (data.rows() == 0)
+        panic("MinMaxNormalizer: empty data");
+    if (mins_.empty()) {
+        mins_.assign(data.cols(), 0.0);
+        maxs_.assign(data.cols(), 0.0);
+        for (size_t c = 0; c < data.cols(); ++c) {
+            mins_[c] = data.at(0, c);
+            maxs_[c] = data.at(0, c);
+        }
+    } else if (mins_.size() != data.cols()) {
+        panic("MinMaxNormalizer: %zu columns, fitted with %zu", data.cols(),
+              mins_.size());
+    }
+    for (size_t r = 0; r < data.rows(); ++r) {
+        for (size_t c = 0; c < data.cols(); ++c) {
+            mins_[c] = std::min(mins_[c], data.at(r, c));
+            maxs_[c] = std::max(maxs_[c], data.at(r, c));
+        }
+    }
+}
+
+nn::Matrix
+MinMaxNormalizer::transform(const nn::Matrix &data) const
+{
+    if (!fitted())
+        panic("MinMaxNormalizer::transform before fit");
+    if (data.cols() != mins_.size())
+        panic("MinMaxNormalizer::transform: %zu columns, fitted with %zu",
+              data.cols(), mins_.size());
+    nn::Matrix out = data;
+    for (size_t r = 0; r < data.rows(); ++r)
+        for (size_t c = 0; c < data.cols(); ++c)
+            out.at(r, c) = value(data.at(r, c), c);
+    return out;
+}
+
+nn::Matrix
+MinMaxNormalizer::inverseTransform(const nn::Matrix &data) const
+{
+    if (!fitted())
+        panic("MinMaxNormalizer::inverseTransform before fit");
+    if (data.cols() != mins_.size())
+        panic("MinMaxNormalizer::inverseTransform: %zu columns, "
+              "fitted with %zu", data.cols(), mins_.size());
+    nn::Matrix out = data;
+    for (size_t r = 0; r < data.rows(); ++r)
+        for (size_t c = 0; c < data.cols(); ++c)
+            out.at(r, c) = inverseValue(data.at(r, c), c);
+    return out;
+}
+
+double
+MinMaxNormalizer::value(double raw, size_t col) const
+{
+    double lo = mins_.at(col);
+    double hi = maxs_.at(col);
+    if (hi <= lo)
+        return 0.5;
+    double v = (raw - lo) / (hi - lo);
+    return std::clamp(v, 0.0, 1.0);
+}
+
+double
+MinMaxNormalizer::inverseValue(double normalized, size_t col) const
+{
+    double lo = mins_.at(col);
+    double hi = maxs_.at(col);
+    if (hi <= lo)
+        return lo;
+    return lo + normalized * (hi - lo);
+}
+
+} // namespace trace
+} // namespace geo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Min-max normalization of feature columns (paper Section V-E).
+ *
+ * The Interface Daemon normalizes numerical training data to [0, 1]
+ * before it reaches the DRL engine. The normalizer remembers per-column
+ * ranges so later batches (and predictions) can be transformed with the
+ * ranges learned from the training window, and targets can be
+ * denormalized back to physical throughput.
+ */
+
+#ifndef GEO_TRACE_NORMALIZER_HH
+#define GEO_TRACE_NORMALIZER_HH
+
+#include <vector>
+
+#include "nn/matrix.hh"
+
+namespace geo {
+namespace trace {
+
+/**
+ * Per-column min-max scaler to [0, 1].
+ *
+ * Constant columns map to 0.5 (no information, centered), matching the
+ * convention that a feature with zero variance contributes nothing.
+ */
+class MinMaxNormalizer
+{
+  public:
+    /** Learn column ranges from `data`. */
+    void fit(const nn::Matrix &data);
+
+    /** Widen ranges to also cover `data` (for incremental refit). */
+    void update(const nn::Matrix &data);
+
+    /** Scale columns into [0, 1]; requires fit() first. */
+    nn::Matrix transform(const nn::Matrix &data) const;
+
+    /** Inverse of transform(). */
+    nn::Matrix inverseTransform(const nn::Matrix &data) const;
+
+    /** Scalar denormalization for column `col`. */
+    double inverseValue(double normalized, size_t col) const;
+
+    /** Scalar normalization for column `col`. */
+    double value(double raw, size_t col) const;
+
+    bool fitted() const { return !mins_.empty(); }
+    size_t columns() const { return mins_.size(); }
+    double columnMin(size_t col) const { return mins_.at(col); }
+    double columnMax(size_t col) const { return maxs_.at(col); }
+
+  private:
+    std::vector<double> mins_;
+    std::vector<double> maxs_;
+};
+
+} // namespace trace
+} // namespace geo
+
+#endif // GEO_TRACE_NORMALIZER_HH

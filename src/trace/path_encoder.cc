@@ -1,0 +1,96 @@
+#include "trace/path_encoder.hh"
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace trace {
+
+PathEncoder::PathEncoder(uint64_t radix) : radix_(radix)
+{
+    if (radix_ < 2)
+        panic("PathEncoder: radix must be >= 2, got %llu",
+              static_cast<unsigned long long>(radix_));
+}
+
+std::vector<std::string>
+PathEncoder::splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : path) {
+        if (c == '/') {
+            if (!current.empty()) {
+                parts.push_back(std::move(current));
+                current.clear();
+            }
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        parts.push_back(std::move(current));
+    return parts;
+}
+
+uint64_t
+PathEncoder::encode(const std::string &path)
+{
+    std::vector<std::string> parts = splitPath(path);
+    if (parts.empty())
+        return 0;
+    uint64_t code = 0;
+    for (const std::string &part : parts) {
+        auto [it, inserted] =
+            toIndex_.try_emplace(part, toName_.size() + 1);
+        if (inserted)
+            toName_.push_back(part);
+        uint64_t index = it->second;
+        if (index >= radix_)
+            panic("PathEncoder: dictionary overflowed radix %llu",
+                  static_cast<unsigned long long>(radix_));
+        code = code * radix_ + index;
+    }
+    return code;
+}
+
+uint64_t
+PathEncoder::encodeReadOnly(const std::string &path) const
+{
+    std::vector<std::string> parts = splitPath(path);
+    if (parts.empty())
+        return 0;
+    uint64_t code = 0;
+    for (const std::string &part : parts) {
+        auto it = toIndex_.find(part);
+        if (it == toIndex_.end())
+            return 0;
+        code = code * radix_ + it->second;
+    }
+    return code;
+}
+
+std::string
+PathEncoder::decode(uint64_t code) const
+{
+    if (code == 0)
+        return "";
+    // Peel indices off the low end; they come out deepest-level first.
+    std::vector<uint64_t> indices;
+    while (code > 0) {
+        indices.push_back(code % radix_);
+        code /= radix_;
+    }
+    std::string path;
+    for (size_t level = indices.size(); level-- > 0;) {
+        uint64_t index = indices[level];
+        if (index == 0 || index > toName_.size())
+            return "";
+        if (!path.empty())
+            path += '/';
+        path += toName_[index - 1];
+    }
+    return path;
+}
+
+} // namespace trace
+} // namespace geo

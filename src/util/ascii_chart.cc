@@ -1,0 +1,156 @@
+#include "util/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace geo {
+
+namespace {
+
+const char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+/** Resample a series to `width` points by bucket averaging. */
+std::vector<double>
+resample(const std::vector<double> &series, size_t width)
+{
+    if (series.empty() || width == 0)
+        return {};
+    if (series.size() <= width)
+        return series;
+    std::vector<double> out(width, 0.0);
+    std::vector<size_t> counts(width, 0);
+    for (size_t i = 0; i < series.size(); ++i) {
+        size_t bucket = i * width / series.size();
+        out[bucket] += series[i];
+        ++counts[bucket];
+    }
+    for (size_t b = 0; b < width; ++b)
+        if (counts[b])
+            out[b] /= static_cast<double>(counts[b]);
+    return out;
+}
+
+struct Canvas
+{
+    size_t width;
+    size_t height;
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::string> rows;
+
+    Canvas(size_t w, size_t h) : width(w), height(h)
+    {
+        rows.assign(height, std::string(width, ' '));
+    }
+
+    void
+    plot(const std::vector<double> &sampled, char glyph)
+    {
+        for (size_t x = 0; x < sampled.size() && x < width; ++x) {
+            double v = sampled[x];
+            if (!std::isfinite(v))
+                continue;
+            double frac = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+            frac = std::clamp(frac, 0.0, 1.0);
+            size_t y = height - 1 -
+                       static_cast<size_t>(std::llround(
+                           frac * static_cast<double>(height - 1)));
+            rows[y][x] = glyph;
+        }
+    }
+};
+
+std::string
+render(Canvas &canvas, const AsciiChartOptions &options,
+       size_t series_length)
+{
+    std::ostringstream os;
+    if (!options.yLabel.empty())
+        os << options.yLabel << '\n';
+    char label[32];
+    for (size_t y = 0; y < canvas.height; ++y) {
+        double frac = static_cast<double>(canvas.height - 1 - y) /
+                      static_cast<double>(canvas.height - 1);
+        double value = canvas.lo + frac * (canvas.hi - canvas.lo);
+        std::snprintf(label, sizeof(label), "%9.3g |", value);
+        os << label << canvas.rows[y] << '\n';
+    }
+    os << std::string(11, ' ') << std::string(canvas.width, '-') << '\n';
+    if (!options.marks.empty() && series_length > 0) {
+        std::string marks(canvas.width, ' ');
+        for (size_t mark : options.marks) {
+            size_t x = mark * canvas.width / series_length;
+            if (x < canvas.width)
+                marks[x] = '^';
+        }
+        os << std::string(11, ' ') << marks << '\n';
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+asciiChart(const std::vector<double> &series,
+           const AsciiChartOptions &options)
+{
+    return asciiChartMulti({{"", series}}, options);
+}
+
+std::string
+asciiChartMulti(
+    const std::vector<std::pair<std::string, std::vector<double>>> &series,
+    const AsciiChartOptions &options)
+{
+    if (series.empty())
+        return "(no data)\n";
+    if (options.width < 2 || options.height < 2)
+        panic("asciiChart: width/height must be >= 2");
+
+    size_t longest = 0;
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    std::vector<std::vector<double>> sampled;
+    for (const auto &[name, data] : series) {
+        longest = std::max(longest, data.size());
+        sampled.push_back(resample(data, options.width));
+        for (double v : sampled.back()) {
+            if (!std::isfinite(v))
+                continue;
+            if (first) {
+                lo = hi = v;
+                first = false;
+            } else {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+        }
+    }
+    if (first)
+        return "(no finite data)\n";
+    if (hi <= lo)
+        hi = lo + 1.0;
+
+    Canvas canvas(options.width, options.height);
+    canvas.lo = lo;
+    canvas.hi = hi;
+    for (size_t s = 0; s < sampled.size(); ++s)
+        canvas.plot(sampled[s], kGlyphs[s % sizeof(kGlyphs)]);
+
+    std::string out = render(canvas, options, longest);
+    bool any_label = false;
+    for (const auto &[name, data] : series)
+        any_label = any_label || !name.empty();
+    if (any_label) {
+        for (size_t s = 0; s < series.size(); ++s) {
+            out += strprintf("  %c %s\n", kGlyphs[s % sizeof(kGlyphs)],
+                             series[s].first.c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace geo

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII line charts for the figure-regeneration benches.
+ *
+ * The paper's evaluation is figure-driven; rendering the regenerated
+ * series directly in the bench output makes the dip/recovery and
+ * policy-separation shapes visible without a plotting stack.
+ */
+
+#ifndef GEO_UTIL_ASCII_CHART_HH
+#define GEO_UTIL_ASCII_CHART_HH
+
+#include <string>
+#include <vector>
+
+namespace geo {
+
+/** Chart options. */
+struct AsciiChartOptions
+{
+    size_t width = 72;   ///< columns of plot area
+    size_t height = 12;  ///< rows of plot area
+    std::string yLabel;  ///< printed above the axis
+    /** Marks drawn on the x axis (e.g. "interference starts"),
+     *  positions in series-index units. */
+    std::vector<size_t> marks;
+};
+
+/**
+ * Render one series as an ASCII chart with a y-axis scale.
+ *
+ * The series is resampled to the chart width by averaging; y is
+ * scaled to [min, max] of the data.
+ */
+std::string asciiChart(const std::vector<double> &series,
+                       const AsciiChartOptions &options = {});
+
+/**
+ * Render several series overlaid, each with its own glyph
+ * ('*', 'o', '+', 'x', ...), sharing one y scale. Legend lines are
+ * appended as "<glyph> <name>".
+ */
+std::string asciiChartMulti(
+    const std::vector<std::pair<std::string, std::vector<double>>> &series,
+    const AsciiChartOptions &options = {});
+
+} // namespace geo
+
+#endif // GEO_UTIL_ASCII_CHART_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Modeled on the gem5 logging discipline: inform() for normal status,
+ * warn() for suspicious-but-survivable conditions, fatal() for user
+ * errors that make continuing impossible, and panic() for internal
+ * invariant violations (bugs).
+ */
+
+#ifndef GEO_UTIL_LOGGING_HH
+#define GEO_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace geo {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Quiet,   ///< only fatal/panic messages
+    Normal,  ///< warn + fatal/panic
+    Verbose, ///< inform + warn + fatal/panic
+};
+
+/** Set the global log verbosity. Thread-safe for concurrent readers. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/** Print an informational message (printf-style) when verbose. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about a survivable but suspicious condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error and exit(1).
+ *
+ * Use for bad configuration or invalid arguments — conditions that are
+ * the caller's fault, not a bug in this library.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort().
+ *
+ * Use for conditions that can never happen unless the library itself is
+ * broken; abort() leaves a core dump for debugging.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace geo
+
+#endif // GEO_UTIL_LOGGING_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Simulated wall clock shared by the storage system and the agents.
+ *
+ * Time is tracked in seconds (double). The paper timestamps accesses with
+ * separate second and millisecond fields (ots/otms, cts/ctms); the
+ * splitSeconds helper produces that representation.
+ */
+
+#ifndef GEO_UTIL_SIM_CLOCK_HH
+#define GEO_UTIL_SIM_CLOCK_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace geo {
+
+/** A (seconds, milliseconds) pair matching the EOS log timestamp format. */
+struct SplitTime
+{
+    int64_t seconds = 0;
+    int64_t millis = 0; ///< in [0, 999]
+
+    /** Back to a fractional-seconds double. */
+    double
+    toSeconds() const
+    {
+        return static_cast<double>(seconds) +
+               static_cast<double>(millis) / 1000.0;
+    }
+};
+
+/** Split a fractional-seconds timestamp into (s, ms) EOS-style fields. */
+inline SplitTime
+splitSeconds(double t)
+{
+    SplitTime st;
+    st.seconds = static_cast<int64_t>(std::floor(t));
+    st.millis = static_cast<int64_t>(
+        std::llround((t - std::floor(t)) * 1000.0));
+    if (st.millis >= 1000) { // rounding overflow, e.g. t = 1.9996
+        st.millis -= 1000;
+        st.seconds += 1;
+    }
+    return st;
+}
+
+/**
+ * Monotonic simulated clock.
+ */
+class SimClock
+{
+  public:
+    /** Current simulated time in seconds. */
+    double now() const { return now_; }
+
+    /** Advance by a non-negative delta (seconds). */
+    void
+    advance(double delta)
+    {
+        if (delta > 0.0)
+            now_ += delta;
+    }
+
+    /** Jump to an absolute time not before the current one. */
+    void
+    advanceTo(double t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    void reset() { now_ = 0.0; }
+
+  private:
+    double now_ = 0.0;
+};
+
+} // namespace geo
+
+#endif // GEO_UTIL_SIM_CLOCK_HH

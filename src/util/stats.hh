@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Statistics accumulators and correlation measures.
+ *
+ * These are the numerical building blocks shared by the trace feature
+ * analysis (Pearson correlation, Fig. 4 of the paper), the model search
+ * (mean absolute relative error, Tables II/III) and the evaluation
+ * harness (throughput mean/stddev, Table IV).
+ */
+
+#ifndef GEO_UTIL_STATS_HH
+#define GEO_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace geo {
+
+/**
+ * Streaming accumulator for mean / variance / extrema (Welford update).
+ *
+ * Numerically stable for long runs; O(1) memory.
+ */
+class StatAccumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Merge another accumulator into this one. */
+    void merge(const StatAccumulator &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance (N denominator); 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample variance (N-1 denominator); 0 with fewer than 2 samples. */
+    double sampleVariance() const;
+
+    double stddev() const;
+    double sampleStddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Reservoir of samples supporting percentile queries.
+ *
+ * Keeps every sample (suitable for experiment-sized series); percentile
+ * uses linear interpolation between closest ranks.
+ */
+class PercentileTracker
+{
+  public:
+    void add(double value);
+    size_t count() const { return samples_.size(); }
+
+    /** Percentile p in [0, 100]; requires at least one sample. */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ *
+ * Returns 0 when either series has zero variance (the convention used by
+ * the paper's feature screening: constant features carry no signal).
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Arithmetic mean of a series (0 for an empty series). */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation of a series. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Mean absolute relative error |pred - target| / |target| in percent.
+ *
+ * Targets with magnitude below `floor` are skipped to avoid division
+ * blow-ups; this mirrors the paper's absolute-relative-error metric of
+ * Tables II and III.
+ */
+double meanAbsoluteRelativeError(const std::vector<double> &predictions,
+                                 const std::vector<double> &targets,
+                                 double floor = 1e-9);
+
+/** Standard deviation of the per-sample absolute relative error (%). */
+double stddevAbsoluteRelativeError(const std::vector<double> &predictions,
+                                   const std::vector<double> &targets,
+                                   double floor = 1e-9);
+
+/**
+ * Signed mean relative error (pred - target) / |target| in percent.
+ *
+ * The paper uses its sign to decide whether the MAE-based prediction
+ * adjustment should be added or subtracted (Section V-G).
+ */
+double meanSignedRelativeError(const std::vector<double> &predictions,
+                               const std::vector<double> &targets,
+                               double floor = 1e-9);
+
+} // namespace geo
+
+#endif // GEO_UTIL_STATS_HH

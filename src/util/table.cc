@@ -1,0 +1,85 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace geo {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::meanStd(double mean, double stddev, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << mean << " +/- "
+       << stddev;
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header + all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace geo

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every table/figure bench prints paper-style rows through this class so
+ * the regenerated results are easy to diff against the paper.
+ */
+
+#ifndef GEO_UTIL_TABLE_HH
+#define GEO_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace geo {
+
+/**
+ * Column-aligned ASCII table with an optional title and header row.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row (column names). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; column count need not match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format "mean ± stddev" with the given precision. */
+    static std::string meanStd(double mean, double stddev, int precision = 2);
+
+    /** Format a double with fixed precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render to a string (used by print and by tests). */
+    std::string render() const;
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace geo
+
+#endif // GEO_UTIL_TABLE_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * One intended I/O operation of a workload.
+ */
+
+#ifndef GEO_WORKLOAD_ACCESS_EVENT_HH
+#define GEO_WORKLOAD_ACCESS_EVENT_HH
+
+#include <cstdint>
+
+#include "storage/system.hh"
+
+namespace geo {
+namespace workload {
+
+/** A single read or write a workload wants to perform. */
+struct AccessEvent
+{
+    storage::FileId file = 0;
+    uint64_t bytes = 0;
+    bool isRead = true;
+};
+
+} // namespace workload
+} // namespace geo
+
+#endif // GEO_WORKLOAD_ACCESS_EVENT_HH

@@ -1,0 +1,101 @@
+#include "workload/belle2.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace workload {
+
+Belle2Workload::Belle2Workload(storage::StorageSystem &system,
+                               const Belle2Config &config)
+    : Belle2Workload(system, config, system.deviceIds())
+{
+}
+
+Belle2Workload::Belle2Workload(
+    storage::StorageSystem &system, const Belle2Config &config,
+    const std::vector<storage::DeviceId> &initial_layout)
+    : system_(system), config_(config), rng_(config.seed)
+{
+    if (config_.fileCount == 0)
+        panic("Belle2Workload: fileCount must be >= 1");
+    if (config_.minFileBytes > config_.maxFileBytes)
+        panic("Belle2Workload: min file size exceeds max");
+    if (config_.minRepeats == 0 || config_.minRepeats > config_.maxRepeats)
+        panic("Belle2Workload: bad repeat range [%zu, %zu]",
+              config_.minRepeats, config_.maxRepeats);
+    if (initial_layout.empty())
+        panic("Belle2Workload: empty initial layout");
+    createFiles(initial_layout);
+}
+
+void
+Belle2Workload::createFiles(const std::vector<storage::DeviceId> &layout)
+{
+    files_.reserve(config_.fileCount);
+    for (size_t i = 0; i < config_.fileCount; ++i) {
+        // Log-uniform sizes span the paper's 583 KB - 1.1 GB range with
+        // a realistic mix of small and large ROOT files.
+        double lo = std::log(static_cast<double>(config_.minFileBytes));
+        double hi = std::log(static_cast<double>(config_.maxFileBytes));
+        uint64_t size =
+            static_cast<uint64_t>(std::exp(rng_.uniform(lo, hi)));
+        size = std::clamp(size, config_.minFileBytes, config_.maxFileBytes);
+        std::string name =
+            strprintf("%s/run%02zu.root", config_.namePrefix.c_str(), i);
+        storage::DeviceId device = layout[i % layout.size()];
+        files_.push_back(system_.addFile(name, size, device));
+    }
+}
+
+std::vector<AccessEvent>
+Belle2Workload::nextRun()
+{
+    std::vector<AccessEvent> events;
+    // Sequential pass over the suite; each file is read 10-20 times in
+    // succession (the looping scan the paper describes).
+    for (storage::FileId file : files_) {
+        size_t repeats = static_cast<size_t>(rng_.uniformInt(
+            static_cast<int64_t>(config_.minRepeats),
+            static_cast<int64_t>(config_.maxRepeats)));
+        uint64_t size = system_.file(file).sizeBytes;
+        for (size_t r = 0; r < repeats; ++r) {
+            AccessEvent ev;
+            ev.file = file;
+            double span = rng_.uniform(config_.minSpan, config_.maxSpan);
+            ev.bytes = std::max<uint64_t>(
+                1, static_cast<uint64_t>(
+                       span * static_cast<double>(size)));
+            ev.isRead = rng_.chance(config_.readFraction);
+            events.push_back(ev);
+        }
+    }
+    return events;
+}
+
+std::vector<storage::AccessObservation>
+Belle2Workload::executeRun()
+{
+    std::vector<storage::AccessObservation> observations;
+    for (const AccessEvent &ev : nextRun())
+        observations.push_back(system_.access(ev.file, ev.bytes, ev.isRead));
+    ++runs_;
+    return observations;
+}
+
+std::vector<storage::AccessObservation>
+Belle2Workload::executeRunConcurrent()
+{
+    std::vector<storage::AccessObservation> observations;
+    for (const AccessEvent &ev : nextRun()) {
+        observations.push_back(
+            system_.accessConcurrent(ev.file, ev.bytes, ev.isRead));
+    }
+    ++runs_;
+    return observations;
+}
+
+} // namespace workload
+} // namespace geo

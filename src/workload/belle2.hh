@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The BELLE II Monte-Carlo workload emulation (paper Section IV).
+ *
+ * The paper's live experiment replays a suite of Monte-Carlo
+ * simulations over 24 ROOT files sized 583 KB to 1.1 GB. The workload
+ * is read-heavy, loops over the files sequentially, and accesses each
+ * file 10-20 times in succession before moving on. One "run" of the
+ * workload is one full pass over the suite (~9,000-16,000 accesses
+ * correspond to a few hundred runs in the paper's experiments).
+ */
+
+#ifndef GEO_WORKLOAD_BELLE2_HH
+#define GEO_WORKLOAD_BELLE2_HH
+
+#include <string>
+#include <vector>
+
+#include "storage/system.hh"
+#include "util/random.hh"
+#include "workload/access_event.hh"
+
+namespace geo {
+namespace workload {
+
+/** Knobs of the BELLE II workload generator. */
+struct Belle2Config
+{
+    size_t fileCount = 24;
+    uint64_t minFileBytes = 583ULL * 1024;        ///< 583 KB
+    uint64_t maxFileBytes = 1181116006ULL;        ///< ~1.1 GB
+    size_t minRepeats = 10;  ///< successive accesses per file per run
+    size_t maxRepeats = 20;
+    double readFraction = 0.92;   ///< read-heavy Monte-Carlo analysis
+    /** Portion of the file touched per access (fraction of size). */
+    double minSpan = 0.10;
+    double maxSpan = 0.60;
+    std::string namePrefix = "belle2/mc/evtgen";
+    uint64_t seed = 1234;
+};
+
+/**
+ * Generator of BELLE II-style access sequences over registered files.
+ */
+class Belle2Workload
+{
+  public:
+    /**
+     * Create the workload's files on `system`, spread round-robin over
+     * all devices (the paper's even "basic spread" starting layout).
+     */
+    Belle2Workload(storage::StorageSystem &system,
+                   const Belle2Config &config = {});
+
+    /**
+     * Create the workload over an explicit starting layout:
+     * file i goes to initial_layout[i % initial_layout.size()].
+     */
+    Belle2Workload(storage::StorageSystem &system,
+                   const Belle2Config &config,
+                   const std::vector<storage::DeviceId> &initial_layout);
+
+    /** File ids owned by this workload (always `config.fileCount`). */
+    const std::vector<storage::FileId> &files() const { return files_; }
+
+    /**
+     * Generate the access sequence of one run: a full sequential pass,
+     * 10-20 successive accesses per file.
+     */
+    std::vector<AccessEvent> nextRun();
+
+    /**
+     * Execute one run against the system, returning the observations.
+     */
+    std::vector<storage::AccessObservation> executeRun();
+
+    /**
+     * Execute one run as a *concurrent* client: devices are loaded
+     * but the global clock does not advance (see
+     * StorageSystem::accessConcurrent).
+     */
+    std::vector<storage::AccessObservation> executeRunConcurrent();
+
+    /** Number of completed runs. */
+    size_t runsCompleted() const { return runs_; }
+
+    const Belle2Config &config() const { return config_; }
+
+  private:
+    storage::StorageSystem &system_;
+    Belle2Config config_;
+    Rng rng_;
+    std::vector<storage::FileId> files_;
+    size_t runs_ = 0;
+
+    void createFiles(const std::vector<storage::DeviceId> &layout);
+};
+
+} // namespace workload
+} // namespace geo
+
+#endif // GEO_WORKLOAD_BELLE2_HH

@@ -1,0 +1,47 @@
+#include "workload/interference.hh"
+
+namespace geo {
+namespace workload {
+
+Belle2Config
+InterferenceWorkload::defaultConfig()
+{
+    Belle2Config config;
+    config.namePrefix = "belle2/other-user/evtgen";
+    config.seed = 991;
+    return config;
+}
+
+InterferenceWorkload::InterferenceWorkload(storage::StorageSystem &system,
+                                           Belle2Config config)
+    : inner_(system, config)
+{
+}
+
+InterferenceWorkload::InterferenceWorkload(
+    storage::StorageSystem &system, Belle2Config config,
+    const std::vector<storage::DeviceId> &layout)
+    : inner_(system, config, layout)
+{
+}
+
+std::vector<storage::AccessObservation>
+InterferenceWorkload::executeRun()
+{
+    return inner_.executeRun();
+}
+
+std::vector<storage::AccessObservation>
+InterferenceWorkload::executeRunConcurrent()
+{
+    return inner_.executeRunConcurrent();
+}
+
+const std::vector<storage::FileId> &
+InterferenceWorkload::files() const
+{
+    return inner_.files();
+}
+
+} // namespace workload
+} // namespace geo

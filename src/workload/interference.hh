@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The interference workload of experiment 3 (paper Section VI-c,
+ * Fig. 6): a duplicate of the BELLE II workload over a *different* set
+ * of files, sharing the same mounts. It is never tuned by Geomancy; its
+ * arrival changes the contention landscape and forces the tuned
+ * workload's model to adapt.
+ */
+
+#ifndef GEO_WORKLOAD_INTERFERENCE_HH
+#define GEO_WORKLOAD_INTERFERENCE_HH
+
+#include "workload/belle2.hh"
+
+namespace geo {
+namespace workload {
+
+/**
+ * An untuned duplicate workload on its own file set.
+ */
+class InterferenceWorkload
+{
+  public:
+    /**
+     * @param system shared target system.
+     * @param config workload shape (defaults mirror BELLE II with a
+     *        distinct seed and name prefix).
+     */
+    explicit InterferenceWorkload(storage::StorageSystem &system,
+                                  Belle2Config config = defaultConfig());
+
+    /**
+     * Variant with an explicit starting layout, e.g. pinning the
+     * duplicate workload onto the fast mounts the tuned workload
+     * already occupies (the contention-shift scenario of Fig. 6).
+     */
+    InterferenceWorkload(storage::StorageSystem &system,
+                         Belle2Config config,
+                         const std::vector<storage::DeviceId> &layout);
+
+    /** Default configuration: same shape, different files and seed. */
+    static Belle2Config defaultConfig();
+
+    /** Execute one run; returns the observations. */
+    std::vector<storage::AccessObservation> executeRun();
+
+    /** Execute one run overlapping the primary workload (no clock
+     *  advance); this is the Fig. 6 contention model. */
+    std::vector<storage::AccessObservation> executeRunConcurrent();
+
+    const std::vector<storage::FileId> &files() const;
+
+    size_t runsCompleted() const { return inner_.runsCompleted(); }
+
+  private:
+    Belle2Workload inner_;
+};
+
+} // namespace workload
+} // namespace geo
+
+#endif // GEO_WORKLOAD_INTERFERENCE_HH

@@ -1,0 +1,78 @@
+#include "workload/trace_replay.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace workload {
+
+TraceReplayWorkload::TraceReplayWorkload(
+    storage::StorageSystem &system,
+    const std::vector<trace::AccessRecord> &records,
+    const TraceReplayConfig &config)
+    : system_(system), config_(config), records_(records)
+{
+    if (records_.empty())
+        panic("TraceReplayWorkload: empty trace");
+    if (system_.deviceCount() == 0)
+        panic("TraceReplayWorkload: system has no devices");
+
+    // Create files on first appearance, round-robin over devices.
+    size_t next_device = 0;
+    for (const trace::AccessRecord &rec : records_) {
+        if (fidToFile_.count(rec.fid))
+            continue;
+        if (config_.maxFiles > 0 && files_.size() >= config_.maxFiles)
+            continue;
+        uint64_t size = std::max<uint64_t>(
+            {rec.osize, rec.rb, rec.wb, 4096});
+        storage::FileId file = system_.addFile(
+            rec.path.empty() ? strprintf("trace/fid%llu",
+                                         static_cast<unsigned long long>(
+                                             rec.fid))
+                             : rec.path,
+            size,
+            static_cast<storage::DeviceId>(next_device %
+                                           system_.deviceCount()));
+        ++next_device;
+        fidToFile_[rec.fid] = file;
+        files_.push_back(file);
+    }
+    lastOpenTime_ = records_.front().openTime();
+}
+
+std::vector<storage::AccessObservation>
+TraceReplayWorkload::replay(size_t count)
+{
+    std::vector<storage::AccessObservation> observations;
+    while (count > 0 && cursor_ < records_.size()) {
+        const trace::AccessRecord &rec = records_[cursor_++];
+        auto it = fidToFile_.find(rec.fid);
+        if (it == fidToFile_.end())
+            continue; // dropped by maxFiles
+        if (config_.preserveTiming) {
+            double gap = rec.openTime() - lastOpenTime_;
+            if (gap > 0.0)
+                system_.clock().advance(gap);
+            lastOpenTime_ = rec.openTime();
+        }
+        uint64_t bytes = rec.rb + rec.wb;
+        if (bytes == 0)
+            bytes = 1;
+        bool is_read = rec.rb >= rec.wb;
+        observations.push_back(
+            system_.access(it->second, bytes, is_read));
+        --count;
+    }
+    return observations;
+}
+
+std::vector<storage::AccessObservation>
+TraceReplayWorkload::replayAll()
+{
+    return replay(records_.size());
+}
+
+} // namespace workload
+} // namespace geo

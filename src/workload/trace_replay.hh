@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Trace-replay workload: drive the simulated storage system with an
+ * EOS-style access trace instead of the synthetic BELLE II generator.
+ *
+ * This is the bridge between the paper's two data sources: traces
+ * (used offline for feature discovery and model sizing) and the live
+ * system (used for the placement experiments). Replaying a trace
+ * through the simulator lets Geomancy be evaluated on recorded
+ * workloads a user brings along.
+ */
+
+#ifndef GEO_WORKLOAD_TRACE_REPLAY_HH
+#define GEO_WORKLOAD_TRACE_REPLAY_HH
+
+#include <map>
+#include <vector>
+
+#include "storage/system.hh"
+#include "trace/access_record.hh"
+
+namespace geo {
+namespace workload {
+
+/** Replay configuration. */
+struct TraceReplayConfig
+{
+    /** Replay the recorded inter-access gaps by advancing the clock
+     *  between accesses (true) or back-to-back (false). */
+    bool preserveTiming = true;
+    /** Cap on files created from the trace (0 = no cap). */
+    size_t maxFiles = 0;
+};
+
+/**
+ * Replays an access trace against a StorageSystem.
+ *
+ * Files referenced by the trace are created on demand, sized by the
+ * record's open size and placed round-robin over the devices; the
+ * trace's own fsid is deliberately ignored (the point of replay is to
+ * let a placement policy choose locations on the simulated system).
+ */
+class TraceReplayWorkload
+{
+  public:
+    /**
+     * @param system target system.
+     * @param records the trace, in open-time order.
+     * @param config replay options.
+     */
+    TraceReplayWorkload(storage::StorageSystem &system,
+                        const std::vector<trace::AccessRecord> &records,
+                        const TraceReplayConfig &config = {});
+
+    /** Files created for the trace (order = first appearance). */
+    const std::vector<storage::FileId> &files() const { return files_; }
+
+    /** Number of records not yet replayed. */
+    size_t remaining() const { return records_.size() - cursor_; }
+
+    bool done() const { return cursor_ >= records_.size(); }
+
+    /**
+     * Replay up to `count` accesses; returns the observations.
+     * Records referencing files dropped by maxFiles are skipped.
+     */
+    std::vector<storage::AccessObservation> replay(size_t count);
+
+    /** Replay everything that is left. */
+    std::vector<storage::AccessObservation> replayAll();
+
+  private:
+    storage::StorageSystem &system_;
+    TraceReplayConfig config_;
+    std::vector<trace::AccessRecord> records_;
+    std::map<uint64_t, storage::FileId> fidToFile_;
+    std::vector<storage::FileId> files_;
+    size_t cursor_ = 0;
+    double lastOpenTime_ = 0.0;
+};
+
+} // namespace workload
+} // namespace geo
+
+#endif // GEO_WORKLOAD_TRACE_REPLAY_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the capacity-weighted grouping variant of the heuristic
+ * policies (the alternative spread the paper mentions in Section VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hh"
+#include "storage/system.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+/** Two devices: one with 3x the capacity of the other. */
+struct Fixture
+{
+    storage::StorageSystem system;
+    std::vector<storage::FileId> files;
+    std::map<storage::FileId, FileUsage> usage;
+    std::vector<storage::DeviceId> ranked = {0, 1};
+    Rng rng{23};
+
+    Fixture()
+    {
+        storage::DeviceConfig big;
+        big.name = "big";
+        big.readBandwidth = 2e9;
+        big.capacityBytes = 3ULL << 30;
+        big.traffic.baseLoad = 0.0;
+        storage::DeviceConfig small = big;
+        small.name = "small";
+        small.readBandwidth = 1e9;
+        small.capacityBytes = 1ULL << 30;
+        system.addDevice(big);
+        system.addDevice(small);
+        for (int i = 0; i < 8; ++i) {
+            files.push_back(
+                system.addFile("f" + std::to_string(i), 1000, 1));
+            FileUsage u;
+            u.accessCount = 10;
+            u.lastAccessIndex = static_cast<uint64_t>(i);
+            usage[files.back()] = u;
+        }
+    }
+
+    PolicyContext
+    context()
+    {
+        return {system, files, usage, ranked, rng};
+    }
+};
+
+TEST(CapacityWeighted, ProportionalGroups)
+{
+    Fixture fx;
+    LfuPolicy policy(/*capacity_weighted=*/true);
+    EXPECT_TRUE(policy.capacityWeighted());
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    // 3:1 capacity ratio over 8 files: 6 on the big mount, 2 small.
+    std::vector<size_t> counts = fx.system.filesPerDevice();
+    EXPECT_EQ(counts[0], 6u);
+    EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(CapacityWeighted, EvenSplitByDefault)
+{
+    Fixture fx;
+    LfuPolicy policy;
+    EXPECT_FALSE(policy.capacityWeighted());
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    std::vector<size_t> counts = fx.system.filesPerDevice();
+    EXPECT_EQ(counts[0], 4u);
+    EXPECT_EQ(counts[1], 4u);
+}
+
+TEST(CapacityWeighted, WorksForAllHeuristics)
+{
+    for (int which = 0; which < 3; ++which) {
+        Fixture fx;
+        std::unique_ptr<GroupedHeuristicPolicy> policy;
+        if (which == 0)
+            policy = std::make_unique<LruPolicy>(true);
+        else if (which == 1)
+            policy = std::make_unique<MruPolicy>(true);
+        else
+            policy = std::make_unique<LfuPolicy>(true);
+        PolicyContext ctx = fx.context();
+        EXPECT_NO_FATAL_FAILURE(policy->rebalance(ctx)) << which;
+        // All files placed, none lost.
+        size_t placed = 0;
+        for (size_t count : fx.system.filesPerDevice())
+            placed += count;
+        EXPECT_EQ(placed, fx.files.size());
+    }
+}
+
+TEST(CapacityWeighted, MruStillReversesDeviceOrder)
+{
+    Fixture fx;
+    MruPolicy policy(true);
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    // MRU reverses: the small (slow) mount is listed first, so with
+    // capacities 1:3 in that order the most recent files go there.
+    std::vector<size_t> counts = fx.system.filesPerDevice();
+    EXPECT_EQ(counts[0] + counts[1], 8u);
+    EXPECT_GT(counts[0], 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

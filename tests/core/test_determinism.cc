@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Determinism tests: with fixed seeds, whole experiments replay
+ * bit-identically — the property every debugging and comparison
+ * workflow in this repository rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "storage/bluesky.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+ExperimentConfig
+shortConfig()
+{
+    ExperimentConfig config;
+    config.warmupRuns = 1;
+    config.measuredRuns = 5;
+    config.cadence = 2;
+    config.seed = 11;
+    return config;
+}
+
+ExperimentResult
+runOnce(const std::string &policy_name)
+{
+    auto system = storage::makeBlueskySystem(7);
+    workload::Belle2Workload workload(*system);
+    std::unique_ptr<Geomancy> geomancy;
+    std::unique_ptr<PlacementPolicy> policy;
+    if (policy_name == "geomancy") {
+        GeomancyConfig config;
+        config.drl.epochs = 6;
+        config.minHistory = 200;
+        geomancy = std::make_unique<Geomancy>(*system, workload.files(),
+                                              config);
+        policy = std::make_unique<GeomancyDynamicPolicy>(*geomancy);
+    } else if (policy_name == "random") {
+        policy = std::make_unique<RandomPolicy>(true);
+    } else {
+        policy = std::make_unique<LfuPolicy>();
+    }
+    ExperimentRunner runner(*system, workload, *policy, shortConfig());
+    return runner.run();
+}
+
+class DeterminismTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DeterminismTest, IdenticalSeriesAcrossReplays)
+{
+    ExperimentResult a = runOnce(GetParam());
+    ExperimentResult b = runOnce(GetParam());
+    ASSERT_EQ(a.totalAccesses, b.totalAccesses);
+    for (size_t i = 0; i < a.throughputSeries.size(); ++i)
+        ASSERT_DOUBLE_EQ(a.throughputSeries[i], b.throughputSeries[i])
+            << "diverged at access " << i;
+    EXPECT_EQ(a.filesMoved, b.filesMoved);
+    EXPECT_EQ(a.bytesMoved, b.bytesMoved);
+    ASSERT_EQ(a.moveEvents.size(), b.moveEvents.size());
+    for (size_t i = 0; i < a.moveEvents.size(); ++i) {
+        EXPECT_EQ(a.moveEvents[i].accessNumber,
+                  b.moveEvents[i].accessNumber);
+        EXPECT_EQ(a.moveEvents[i].filesMoved, b.moveEvents[i].filesMoved);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DeterminismTest,
+                         testing::Values("lfu", "random", "geomancy"),
+                         [](const auto &info) { return info.param; });
+
+TEST(Determinism, DifferentSeedsDiffer)
+{
+    auto s1 = storage::makeBlueskySystem(7);
+    auto s2 = storage::makeBlueskySystem(8);
+    workload::Belle2Workload w1(*s1);
+    workload::Belle2Workload w2(*s2);
+    NoOpPolicy p1, p2;
+    ExperimentRunner r1(*s1, w1, p1, shortConfig());
+    ExperimentRunner r2(*s2, w2, p2, shortConfig());
+    ExperimentResult a = r1.run();
+    ExperimentResult b = r2.run();
+    size_t same = 0;
+    size_t n = std::min(a.throughputSeries.size(),
+                        b.throughputSeries.size());
+    for (size_t i = 0; i < n; ++i)
+        if (a.throughputSeries[i] == b.throughputSeries[i])
+            ++same;
+    EXPECT_LT(same, n / 10);
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

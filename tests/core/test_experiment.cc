@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Integration tests for the experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "storage/bluesky.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+ExperimentConfig
+shortConfig()
+{
+    ExperimentConfig config;
+    config.warmupRuns = 1;
+    config.measuredRuns = 6;
+    config.cadence = 2;
+    return config;
+}
+
+TEST(ExperimentRunner, CollectsSeries)
+{
+    auto system = storage::makeBlueskySystem();
+    workload::Belle2Workload workload(*system);
+    NoOpPolicy policy;
+    ExperimentRunner runner(*system, workload, policy, shortConfig());
+    ExperimentResult result = runner.run();
+
+    EXPECT_EQ(result.policyName, "no-op");
+    EXPECT_EQ(result.totalAccesses, result.throughputSeries.size());
+    EXPECT_GT(result.totalAccesses, 1000u);
+    EXPECT_GT(result.averageThroughput, 0.0);
+    EXPECT_EQ(result.filesMoved, 0u);
+    EXPECT_TRUE(result.moveEvents.empty());
+
+    uint64_t per_device_total = 0;
+    for (uint64_t count : result.accessesPerDevice)
+        per_device_total += count;
+    EXPECT_EQ(per_device_total, result.totalAccesses);
+}
+
+TEST(ExperimentRunner, DynamicPolicyRebalancesOnCadence)
+{
+    auto system = storage::makeBlueskySystem();
+    workload::Belle2Workload workload(*system);
+    RandomPolicy policy(/*dynamic=*/true);
+    ExperimentRunner runner(*system, workload, policy, shortConfig());
+    ExperimentResult result = runner.run();
+    // Initial placement + rebalances at runs 2 and 4 (not at the end).
+    EXPECT_GE(result.moveEvents.size(), 2u);
+    EXPECT_GT(result.filesMoved, 0u);
+    EXPECT_GT(result.bytesMoved, 0u);
+}
+
+TEST(ExperimentRunner, StaticPolicyMovesOnlyAtStart)
+{
+    auto system = storage::makeBlueskySystem();
+    workload::Belle2Workload workload(*system);
+    SingleMountPolicy policy(system->deviceByName("file0"));
+    ExperimentRunner runner(*system, workload, policy, shortConfig());
+    ExperimentResult result = runner.run();
+    ASSERT_EQ(result.moveEvents.size(), 1u);
+    EXPECT_EQ(result.moveEvents[0].accessNumber, 0u);
+    // All measured accesses served by file0.
+    storage::DeviceId file0 = system->deviceByName("file0");
+    EXPECT_EQ(result.accessesPerDevice[file0], result.totalAccesses);
+}
+
+TEST(ExperimentRunner, MoveEventsAlignedToSeries)
+{
+    auto system = storage::makeBlueskySystem();
+    workload::Belle2Workload workload(*system);
+    RandomPolicy policy(true);
+    ExperimentRunner runner(*system, workload, policy, shortConfig());
+    ExperimentResult result = runner.run();
+    for (const MoveEvent &event : result.moveEvents) {
+        EXPECT_LE(event.accessNumber, result.totalAccesses);
+        EXPECT_GT(event.filesMoved, 0u);
+    }
+}
+
+TEST(ExperimentRunner, RunHookFiresEachMeasuredRun)
+{
+    auto system = storage::makeBlueskySystem();
+    workload::Belle2Workload workload(*system);
+    NoOpPolicy policy;
+    ExperimentRunner runner(*system, workload, policy, shortConfig());
+    std::vector<size_t> seen;
+    runner.setRunHook([&](size_t run) { seen.push_back(run); });
+    runner.run();
+    EXPECT_EQ(seen.size(), 6u);
+    EXPECT_EQ(seen.front(), 0u);
+    EXPECT_EQ(seen.back(), 5u);
+}
+
+TEST(ExperimentResult, SmoothedAndBucketedSeries)
+{
+    ExperimentResult result;
+    for (int i = 0; i < 100; ++i)
+        result.throughputSeries.push_back(static_cast<double>(i));
+    EXPECT_EQ(result.smoothedSeries(10).size(), 100u);
+    std::vector<double> buckets = result.bucketedSeries(25);
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_DOUBLE_EQ(buckets[0], 12.0); // mean of 0..24
+    EXPECT_DOUBLE_EQ(buckets[3], 87.0); // mean of 75..99
+}
+
+TEST(ExperimentRunnerDeathTest, ZeroCadence)
+{
+    auto system = storage::makeBlueskySystem();
+    workload::Belle2Workload workload(*system);
+    NoOpPolicy policy;
+    ExperimentConfig config;
+    config.cadence = 0;
+    EXPECT_DEATH(ExperimentRunner(*system, workload, policy, config),
+                 "cadence");
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the Geomancy-backed placement policies (the dynamic and
+ * static adapters used by the experiment harness).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/policies.hh"
+#include "storage/bluesky.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+struct Fixture
+{
+    std::unique_ptr<storage::StorageSystem> system =
+        storage::makeBlueskySystem();
+    std::unique_ptr<workload::Belle2Workload> workload;
+    std::unique_ptr<Geomancy> geomancy;
+    std::map<storage::FileId, FileUsage> usage;
+    std::vector<storage::DeviceId> ranked;
+    Rng rng{17};
+
+    Fixture()
+    {
+        workload = std::make_unique<workload::Belle2Workload>(*system);
+        GeomancyConfig config;
+        config.drl.epochs = 8;
+        config.minHistory = 200;
+        geomancy = std::make_unique<Geomancy>(*system, workload->files(),
+                                              config);
+        ranked = system->deviceIds();
+    }
+
+    PolicyContext
+    context()
+    {
+        return {*system, workload->files(), usage, ranked, rng};
+    }
+
+    void
+    warmup(int runs)
+    {
+        for (int i = 0; i < runs; ++i)
+            workload->executeRun();
+    }
+};
+
+TEST(GeomancyDynamicPolicy, RebalanceRunsCycles)
+{
+    Fixture fx;
+    GeomancyDynamicPolicy policy(*fx.geomancy);
+    EXPECT_TRUE(policy.isDynamic());
+    EXPECT_EQ(policy.name(), "Geomancy dynamic");
+
+    // Without history the cycle skips and moves nothing.
+    PolicyContext ctx = fx.context();
+    EXPECT_EQ(policy.rebalance(ctx), 0u);
+    EXPECT_TRUE(policy.lastReport().skipped);
+
+    fx.warmup(4);
+    PolicyContext ctx2 = fx.context();
+    policy.rebalance(ctx2);
+    EXPECT_FALSE(policy.lastReport().skipped);
+    EXPECT_EQ(fx.geomancy->cyclesRun(), 2u);
+}
+
+TEST(GeomancyStaticPolicy, PlacesExactlyOnce)
+{
+    Fixture fx;
+    GeomancyStaticPolicy policy(*fx.geomancy);
+    EXPECT_FALSE(policy.isDynamic());
+    EXPECT_EQ(policy.name(), "Geomancy static");
+
+    fx.warmup(4);
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    auto layout = fx.system->layout();
+    uint64_t migrations = fx.system->migrationCount();
+
+    // Second and third calls are no-ops.
+    PolicyContext ctx2 = fx.context();
+    EXPECT_EQ(policy.rebalance(ctx2), 0u);
+    PolicyContext ctx3 = fx.context();
+    EXPECT_EQ(policy.rebalance(ctx3), 0u);
+    EXPECT_EQ(fx.system->layout(), layout);
+    EXPECT_EQ(fx.system->migrationCount(), migrations);
+}
+
+TEST(GeomancyStaticPolicy, HandlesColdStartGracefully)
+{
+    Fixture fx;
+    GeomancyStaticPolicy policy(*fx.geomancy);
+    // No history at all: predictLayout warns and returns nothing.
+    PolicyContext ctx = fx.context();
+    EXPECT_EQ(policy.rebalance(ctx), 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the latency modeling target (paper Section V-C future
+ * work): the Interface Daemon can build latency targets, the engine
+ * tracks the target kind, and the Action Checker inverts its
+ * comparisons for lower-is-better models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/action_checker.hh"
+#include "core/drl_engine.hh"
+#include "storage/bluesky.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+PerfRecord
+record(storage::FileId file, storage::DeviceId device, double duration,
+       int64_t at)
+{
+    PerfRecord rec;
+    rec.file = file;
+    rec.device = device;
+    rec.rb = 1000000;
+    rec.ots = at;
+    rec.otms = 0;
+    rec.cts = at + static_cast<int64_t>(duration);
+    rec.ctms = static_cast<int64_t>((duration -
+                                     std::floor(duration)) * 1000.0);
+    rec.throughput = 1e6 / duration;
+    return rec;
+}
+
+TEST(LatencyTarget, DaemonBuildsDurationTargets)
+{
+    ReplayDb db;
+    DaemonConfig config;
+    config.target = ModelTarget::Latency;
+    config.smoothingWindow = 1;
+    InterfaceDaemon daemon(db, config);
+
+    std::vector<PerfRecord> records;
+    for (int i = 0; i < 30; ++i)
+        records.push_back(record(i, 0, 2.5, i * 10));
+    daemon.receiveBatch(records);
+
+    TrainingBatch batch = daemon.buildTrainingBatch({0});
+    EXPECT_EQ(batch.target, ModelTarget::Latency);
+    ASSERT_EQ(batch.dataset.size(), 30u);
+    // All durations equal 2.5 s -> constant column maps to 0.5 and
+    // denormalizes back to 2.5.
+    EXPECT_NEAR(batch.denormalizeTarget(batch.dataset.targets.at(0, 0)),
+                2.5, 0.01);
+}
+
+TEST(LatencyTarget, EngineTracksTargetKind)
+{
+    ReplayDb db;
+    DaemonConfig config;
+    config.target = ModelTarget::Latency;
+    config.smoothingWindow = 1;
+    InterfaceDaemon daemon(db, config);
+    Rng rng(7);
+    std::vector<PerfRecord> records;
+    for (int i = 0; i < 400; ++i) {
+        double duration = 1.0 + 0.5 * static_cast<double>(i % 3) +
+                          rng.uniform(0.0, 0.1);
+        records.push_back(record(i % 8,
+                                 static_cast<storage::DeviceId>(i % 3),
+                                 duration, i * 5));
+    }
+    daemon.receiveBatch(records);
+
+    DrlConfig engine_config;
+    engine_config.epochs = 30;
+    DrlEngine engine(engine_config);
+    EXPECT_FALSE(engine.lowerIsBetter());
+    RetrainStats stats = engine.retrain(daemon.buildTrainingBatch({0, 1, 2}));
+    ASSERT_TRUE(stats.trained);
+    EXPECT_TRUE(engine.lowerIsBetter());
+    EXPECT_EQ(engine.targetKind(), ModelTarget::Latency);
+}
+
+TEST(LatencyTarget, CheckerPrefersLowerWhenLatency)
+{
+    auto system = storage::makeBlueskySystem();
+    storage::FileId file = system->addFile("f", 1000, 0);
+    ActionChecker checker(*system);
+    Rng rng(3);
+    std::vector<CandidateScore> scores = {
+        {0, 5.0}, // stay: 5 s predicted latency
+        {1, 2.0}, // device 1: 2 s
+        {2, 9.0},
+    };
+    auto move =
+        checker.selectMove(file, scores, rng, /*lower_is_better=*/true);
+    ASSERT_TRUE(move.has_value());
+    EXPECT_EQ(move->to, 1u);
+    EXPECT_NEAR(move->predictedGain, 0.6, 1e-9); // (5 - 2) / 5
+
+    // Throughput orientation on the same scores picks device 2.
+    auto tp_move =
+        checker.selectMove(file, scores, rng, /*lower_is_better=*/false);
+    ASSERT_TRUE(tp_move.has_value());
+    EXPECT_EQ(tp_move->to, 2u);
+}
+
+TEST(LatencyTarget, CheckerStaysWhenCurrentLowest)
+{
+    auto system = storage::makeBlueskySystem();
+    storage::FileId file = system->addFile("f", 1000, 0);
+    ActionChecker checker(*system);
+    Rng rng(4);
+    std::vector<CandidateScore> scores = {
+        {0, 1.0}, // stay is fastest
+        {1, 2.0},
+    };
+    EXPECT_FALSE(
+        checker.selectMove(file, scores, rng, true).has_value());
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

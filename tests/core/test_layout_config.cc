@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the layout configuration file (paper Sections V-F, VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/layout_config.hh"
+#include "storage/bluesky.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+TEST(LayoutConfig, CapturesLayoutAndAvailability)
+{
+    auto system = storage::makeBlueskySystem();
+    storage::FileId f1 = system->addFile("a", 100, 0);
+    storage::FileId f2 = system->addFile("b", 100, 3);
+    system->device(4).setWritable(false);
+
+    LayoutConfig config = LayoutConfig::capture(*system);
+    EXPECT_EQ(config.fileCount(), 2u);
+    EXPECT_EQ(config.location(f1), 0u);
+    EXPECT_EQ(config.location(f2), 3u);
+    EXPECT_TRUE(config.knows(f1));
+    EXPECT_FALSE(config.knows(999));
+    // Device 4 is read-only: not an available candidate.
+    const auto &available = config.availableDevices();
+    EXPECT_EQ(available.size(), 5u);
+    EXPECT_EQ(std::count(available.begin(), available.end(), 4u), 0);
+}
+
+TEST(LayoutConfig, SerializeParseRoundTrip)
+{
+    auto system = storage::makeBlueskySystem();
+    system->addFile("a", 100, 2);
+    system->addFile("b", 100, 5);
+    LayoutConfig original = LayoutConfig::capture(*system);
+
+    LayoutConfig restored;
+    ASSERT_TRUE(restored.parse(original.serialize()));
+    EXPECT_EQ(restored, original);
+}
+
+TEST(LayoutConfig, RejectsGarbage)
+{
+    LayoutConfig config;
+    EXPECT_FALSE(config.parse(""));
+    EXPECT_FALSE(config.parse("not a layout\n"));
+    EXPECT_FALSE(config.parse("geomancy-layout-v1\nbogus 1 2\n"));
+}
+
+TEST(LayoutConfig, FileRoundTrip)
+{
+    auto system = storage::makeBlueskySystem();
+    storage::FileId file = system->addFile("a", 100, 1);
+    LayoutConfig original = LayoutConfig::capture(*system);
+    std::string path = testing::TempDir() + "/geomancy_layout_test.cfg";
+    ASSERT_TRUE(original.save(path));
+
+    LayoutConfig restored;
+    ASSERT_TRUE(restored.load(path));
+    EXPECT_EQ(restored.location(file), 1u);
+    std::remove(path.c_str());
+    EXPECT_FALSE(restored.load("/nonexistent/layout.cfg"));
+}
+
+TEST(LayoutConfig, TracksMovements)
+{
+    // The paper: the workload looks up latest locations from the
+    // config Geomancy refreshes after any data movement.
+    auto system = storage::makeBlueskySystem();
+    storage::FileId file = system->addFile("a", 100, 0);
+    LayoutConfig before = LayoutConfig::capture(*system);
+    system->moveFile(file, 2);
+    LayoutConfig after = LayoutConfig::capture(*system);
+    EXPECT_EQ(before.location(file), 0u);
+    EXPECT_EQ(after.location(file), 2u);
+}
+
+TEST(LayoutConfigDeathTest, UnknownFilePanics)
+{
+    LayoutConfig config;
+    EXPECT_DEATH(config.location(1), "unknown file");
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

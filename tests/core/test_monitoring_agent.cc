@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the per-device monitoring agent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/monitoring_agent.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+storage::AccessObservation
+obsOn(storage::DeviceId device, storage::FileId file = 1)
+{
+    storage::AccessObservation obs;
+    obs.file = file;
+    obs.device = device;
+    obs.readBytes = 100;
+    obs.startTime = 1.0;
+    obs.endTime = 2.0;
+    obs.throughput = 100.0;
+    return obs;
+}
+
+TEST(MonitoringAgent, FiltersOtherDevices)
+{
+    std::vector<PerfRecord> received;
+    MonitoringAgent agent(
+        3, [&](const std::vector<PerfRecord> &batch) {
+            received.insert(received.end(), batch.begin(), batch.end());
+        },
+        1);
+    agent.observe(obsOn(2));
+    agent.observe(obsOn(3));
+    agent.observe(obsOn(4));
+    EXPECT_EQ(agent.observedCount(), 1u);
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].device, 3u);
+}
+
+TEST(MonitoringAgent, BatchesBeforeForwarding)
+{
+    std::vector<size_t> batch_sizes;
+    MonitoringAgent agent(
+        0, [&](const std::vector<PerfRecord> &batch) {
+            batch_sizes.push_back(batch.size());
+        },
+        4);
+    for (int i = 0; i < 10; ++i)
+        agent.observe(obsOn(0));
+    // 10 observations with batch size 4: two full batches forwarded.
+    EXPECT_EQ(batch_sizes, (std::vector<size_t>{4, 4}));
+    EXPECT_EQ(agent.batchesSent(), 2u);
+
+    agent.flush();
+    EXPECT_EQ(batch_sizes.back(), 2u);
+    EXPECT_EQ(agent.batchesSent(), 3u);
+}
+
+TEST(MonitoringAgent, FlushOnEmptyIsNoOp)
+{
+    int calls = 0;
+    MonitoringAgent agent(
+        0, [&](const std::vector<PerfRecord> &) { ++calls; }, 4);
+    agent.flush();
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(MonitoringAgent, RecordsCarryMeasuredThroughput)
+{
+    std::vector<PerfRecord> received;
+    MonitoringAgent agent(
+        0, [&](const std::vector<PerfRecord> &batch) {
+            received = batch;
+        },
+        1);
+    agent.observe(obsOn(0, 42));
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].file, 42u);
+    EXPECT_DOUBLE_EQ(received[0].throughput, 100.0);
+    EXPECT_EQ(received[0].rb, 100u);
+}
+
+TEST(MonitoringAgentDeathTest, InvalidConstruction)
+{
+    EXPECT_DEATH(MonitoringAgent(0, nullptr, 1), "sink");
+    EXPECT_DEATH(MonitoringAgent(
+                     0, [](const std::vector<PerfRecord> &) {}, 0),
+                 "batch");
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

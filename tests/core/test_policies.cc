@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the baseline placement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hh"
+#include "storage/system.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+/** Three devices with distinct, quiet bandwidths: 0 fastest. */
+storage::StorageSystem
+makeSystem()
+{
+    storage::StorageSystem system;
+    for (int i = 0; i < 3; ++i) {
+        storage::DeviceConfig config;
+        config.name = "dev" + std::to_string(i);
+        config.readBandwidth = 3e9 / (i + 1);
+        config.writeBandwidth = config.readBandwidth / 2;
+        config.capacityBytes = 1ULL << 30;
+        config.traffic.baseLoad = 0.0;
+        config.traffic.diurnalAmplitude = 0.0;
+        config.traffic.burstProbability = 0.0;
+        config.traffic.noiseAmplitude = 0.0;
+        system.addDevice(config);
+    }
+    return system;
+}
+
+struct Fixture
+{
+    storage::StorageSystem system = makeSystem();
+    std::vector<storage::FileId> files;
+    std::map<storage::FileId, FileUsage> usage;
+    std::vector<storage::DeviceId> ranked = {0, 1, 2};
+    Rng rng{99};
+
+    Fixture()
+    {
+        // Six files, all starting on the slowest device.
+        for (int i = 0; i < 6; ++i)
+            files.push_back(
+                system.addFile("f" + std::to_string(i), 1000, 2));
+        // usage: file i accessed (i+1)*10 times, last used at index i.
+        for (size_t i = 0; i < files.size(); ++i) {
+            FileUsage u;
+            u.accessCount = (i + 1) * 10;
+            u.lastAccessIndex = i + 1;
+            usage[files[i]] = u;
+        }
+    }
+
+    PolicyContext
+    context()
+    {
+        return {system, files, usage, ranked, rng};
+    }
+};
+
+TEST(LruPolicy, MostRecentToFastest)
+{
+    Fixture fx;
+    LruPolicy policy;
+    PolicyContext ctx = fx.context();
+    size_t moved = policy.rebalance(ctx);
+    EXPECT_GT(moved, 0u);
+    // Files 5,4 most recent -> device 0; 3,2 -> device 1; 1,0 -> 2.
+    EXPECT_EQ(fx.system.location(fx.files[5]), 0u);
+    EXPECT_EQ(fx.system.location(fx.files[4]), 0u);
+    EXPECT_EQ(fx.system.location(fx.files[3]), 1u);
+    EXPECT_EQ(fx.system.location(fx.files[2]), 1u);
+    EXPECT_EQ(fx.system.location(fx.files[1]), 2u);
+    EXPECT_EQ(fx.system.location(fx.files[0]), 2u);
+    EXPECT_EQ(policy.name(), "LRU");
+    EXPECT_TRUE(policy.isDynamic());
+}
+
+TEST(MruPolicy, MostRecentToSlowest)
+{
+    Fixture fx;
+    MruPolicy policy;
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    EXPECT_EQ(fx.system.location(fx.files[5]), 2u);
+    EXPECT_EQ(fx.system.location(fx.files[0]), 0u);
+}
+
+TEST(LfuPolicy, MostFrequentToFastest)
+{
+    Fixture fx;
+    // Make frequency ordering differ from recency: file 0 hottest.
+    fx.usage[fx.files[0]].accessCount = 1000;
+    LfuPolicy policy;
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    EXPECT_EQ(fx.system.location(fx.files[0]), 0u);
+}
+
+TEST(GroupedPolicy, RemainderGoesToSlowest)
+{
+    Fixture fx;
+    // Add a 7th file: 7 files / 3 devices = groups of 2, remainder 1.
+    fx.files.push_back(fx.system.addFile("f6", 1000, 2));
+    FileUsage u;
+    u.accessCount = 1;
+    u.lastAccessIndex = 0; // least recent of all
+    fx.usage[fx.files.back()] = u;
+    LruPolicy policy;
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    EXPECT_EQ(fx.system.location(fx.files.back()), 2u);
+}
+
+TEST(RandomPolicy, StaticPlacesOnlyOnce)
+{
+    Fixture fx;
+    RandomPolicy policy(/*dynamic=*/false);
+    EXPECT_FALSE(policy.isDynamic());
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    auto layout = fx.system.layout();
+    PolicyContext ctx2 = fx.context();
+    EXPECT_EQ(policy.rebalance(ctx2), 0u);
+    EXPECT_EQ(fx.system.layout(), layout);
+}
+
+TEST(RandomPolicy, DynamicReshuffles)
+{
+    Fixture fx;
+    RandomPolicy policy(/*dynamic=*/true);
+    EXPECT_TRUE(policy.isDynamic());
+    size_t total_moves = 0;
+    for (int i = 0; i < 5; ++i) {
+        PolicyContext ctx = fx.context();
+        total_moves += policy.rebalance(ctx);
+    }
+    EXPECT_GT(total_moves, 5u);
+    EXPECT_EQ(policy.name(), "random dynamic");
+}
+
+TEST(SingleMountPolicy, PinsEverything)
+{
+    Fixture fx;
+    SingleMountPolicy policy(1);
+    PolicyContext ctx = fx.context();
+    size_t moved = policy.rebalance(ctx);
+    EXPECT_EQ(moved, 6u);
+    for (storage::FileId file : fx.files)
+        EXPECT_EQ(fx.system.location(file), 1u);
+    // Second call is a no-op (static).
+    PolicyContext ctx2 = fx.context();
+    EXPECT_EQ(policy.rebalance(ctx2), 0u);
+}
+
+TEST(NoOpPolicy, NeverMoves)
+{
+    Fixture fx;
+    NoOpPolicy policy;
+    auto layout = fx.system.layout();
+    PolicyContext ctx = fx.context();
+    EXPECT_EQ(policy.rebalance(ctx), 0u);
+    EXPECT_EQ(fx.system.layout(), layout);
+}
+
+TEST(Policies, NamesDistinct)
+{
+    EXPECT_EQ(LruPolicy().name(), "LRU");
+    EXPECT_EQ(MruPolicy().name(), "MRU");
+    EXPECT_EQ(LfuPolicy().name(), "LFU");
+    EXPECT_EQ(RandomPolicy(false).name(), "random static");
+    EXPECT_EQ(SingleMountPolicy(0).name(), "single-mount(0)");
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

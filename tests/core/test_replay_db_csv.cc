@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for ReplayDB CSV export/import.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/replay_db.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+PerfRecord
+record(storage::FileId file, double throughput)
+{
+    PerfRecord rec;
+    rec.file = file;
+    rec.device = static_cast<storage::DeviceId>(file % 3);
+    rec.rb = 1000 + file;
+    rec.wb = file % 2 ? 500 : 0;
+    rec.ots = static_cast<int64_t>(file) * 10;
+    rec.otms = 250;
+    rec.cts = rec.ots + 1;
+    rec.ctms = 750;
+    rec.throughput = throughput;
+    return rec;
+}
+
+TEST(ReplayDbCsv, ExportHasHeaderAndRows)
+{
+    ReplayDb db;
+    db.insertAccess(record(1, 100.0));
+    db.insertAccess(record(2, 200.0));
+    std::string csv = db.exportAccessesCsv();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+    EXPECT_EQ(csv.rfind("file_id,", 0), 0u);
+}
+
+TEST(ReplayDbCsv, RoundTripPreservesRecords)
+{
+    ReplayDb source;
+    for (int i = 0; i < 50; ++i)
+        source.insertAccess(record(static_cast<storage::FileId>(i),
+                                   100.0 + i * 0.5));
+    std::string csv = source.exportAccessesCsv();
+
+    ReplayDb target;
+    EXPECT_EQ(target.importAccessesCsv(csv), 50u);
+    EXPECT_EQ(target.accessCount(), 50);
+
+    std::vector<PerfRecord> a = source.recentAccesses(50);
+    std::vector<PerfRecord> b = target.recentAccesses(50);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].file, b[i].file);
+        EXPECT_EQ(a[i].device, b[i].device);
+        EXPECT_EQ(a[i].rb, b[i].rb);
+        EXPECT_EQ(a[i].wb, b[i].wb);
+        EXPECT_EQ(a[i].ots, b[i].ots);
+        EXPECT_EQ(a[i].otms, b[i].otms);
+        EXPECT_DOUBLE_EQ(a[i].throughput, b[i].throughput);
+    }
+}
+
+TEST(ReplayDbCsv, EmptyDatabaseExportsHeaderOnly)
+{
+    ReplayDb db;
+    std::string csv = db.exportAccessesCsv();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+    ReplayDb target;
+    EXPECT_EQ(target.importAccessesCsv(csv), 0u);
+}
+
+TEST(ReplayDbCsv, MalformedRowsSkipped)
+{
+    ReplayDb db;
+    std::string csv =
+        "file_id,device_id,rb,wb,ots,otms,cts,ctms,throughput\n"
+        "1,0,100,0,5,0,6,0,123.5\n"
+        "broken,row\n";
+    EXPECT_EQ(db.importAccessesCsv(csv), 1u);
+    EXPECT_EQ(db.accessCount(), 1);
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit and parameterized tests for activation functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hh"
+
+namespace geo {
+namespace nn {
+namespace {
+
+TEST(Activation, ReluValues)
+{
+    EXPECT_DOUBLE_EQ(activate(Activation::ReLU, 3.0), 3.0);
+    EXPECT_DOUBLE_EQ(activate(Activation::ReLU, -3.0), 0.0);
+    EXPECT_DOUBLE_EQ(activate(Activation::ReLU, 0.0), 0.0);
+}
+
+TEST(Activation, LinearIdentity)
+{
+    for (double x : {-5.0, 0.0, 2.5})
+        EXPECT_DOUBLE_EQ(activate(Activation::Linear, x), x);
+}
+
+TEST(Activation, SigmoidRangeAndCenter)
+{
+    EXPECT_DOUBLE_EQ(activate(Activation::Sigmoid, 0.0), 0.5);
+    EXPECT_GT(activate(Activation::Sigmoid, 10.0), 0.999);
+    EXPECT_LT(activate(Activation::Sigmoid, -10.0), 0.001);
+}
+
+TEST(Activation, TanhOddFunction)
+{
+    for (double x : {0.5, 1.0, 2.0})
+        EXPECT_DOUBLE_EQ(activate(Activation::Tanh, x),
+                         -activate(Activation::Tanh, -x));
+}
+
+TEST(Activation, NamesRoundTrip)
+{
+    for (Activation act : {Activation::Linear, Activation::ReLU,
+                           Activation::Sigmoid, Activation::Tanh})
+        EXPECT_EQ(activationFromName(activationName(act)), act);
+}
+
+TEST(ActivationDeathTest, UnknownName)
+{
+    EXPECT_DEATH(activationFromName("softmax"), "unknown");
+}
+
+TEST(Activation, MatrixApplyMatchesScalar)
+{
+    Matrix m = Matrix::fromRows({{-2.0, -0.5, 0.0, 0.5, 2.0}});
+    for (Activation act : {Activation::Linear, Activation::ReLU,
+                           Activation::Sigmoid, Activation::Tanh}) {
+        Matrix out = applyActivation(act, m);
+        for (size_t c = 0; c < m.cols(); ++c)
+            EXPECT_DOUBLE_EQ(out.at(0, c), activate(act, m.at(0, c)));
+    }
+}
+
+/** Parameterized derivative check against a finite difference. */
+class ActivationDerivativeTest : public testing::TestWithParam<Activation>
+{
+};
+
+TEST_P(ActivationDerivativeTest, MatchesFiniteDifference)
+{
+    Activation act = GetParam();
+    const double eps = 1e-6;
+    for (double x : {-2.0, -0.7, 0.3, 1.1, 3.0}) {
+        double numeric = (activate(act, x + eps) - activate(act, x - eps)) /
+                         (2.0 * eps);
+        EXPECT_NEAR(activateDerivative(act, x), numeric, 1e-5)
+            << activationName(act) << " at x = " << x;
+    }
+}
+
+TEST_P(ActivationDerivativeTest, MatrixDerivativeMatchesScalar)
+{
+    Activation act = GetParam();
+    Matrix m = Matrix::fromRows({{-1.5, 0.25, 2.0}});
+    Matrix d = activationDerivative(act, m);
+    for (size_t c = 0; c < m.cols(); ++c)
+        EXPECT_DOUBLE_EQ(d.at(0, c), activateDerivative(act, m.at(0, c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationDerivativeTest,
+                         testing::Values(Activation::Linear,
+                                         Activation::ReLU,
+                                         Activation::Sigmoid,
+                                         Activation::Tanh),
+                         [](const auto &info) {
+                             return activationName(info.param);
+                         });
+
+} // namespace
+} // namespace nn
+} // namespace geo

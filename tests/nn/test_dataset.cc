@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for dataset slicing and the 60/20/20 split.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hh"
+
+namespace geo {
+namespace nn {
+namespace {
+
+Dataset
+sequentialDataset(size_t n)
+{
+    Dataset data;
+    data.inputs = Matrix(n, 2);
+    data.targets = Matrix(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+        data.inputs.at(i, 0) = static_cast<double>(i);
+        data.inputs.at(i, 1) = static_cast<double>(i) * 10.0;
+        data.targets.at(i, 0) = static_cast<double>(i) * 100.0;
+    }
+    return data;
+}
+
+TEST(Dataset, SliceAligned)
+{
+    Dataset data = sequentialDataset(10);
+    Dataset mid = data.slice(3, 6);
+    EXPECT_EQ(mid.size(), 3u);
+    EXPECT_DOUBLE_EQ(mid.inputs.at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(mid.targets.at(2, 0), 500.0);
+}
+
+TEST(Dataset, EmptyFlag)
+{
+    Dataset data;
+    EXPECT_TRUE(data.empty());
+    EXPECT_FALSE(sequentialDataset(1).empty());
+}
+
+TEST(ChronologicalSplit, PaperFractions)
+{
+    Dataset data = sequentialDataset(100);
+    DataSplit split = chronologicalSplit(data);
+    EXPECT_EQ(split.train.size(), 60u);
+    EXPECT_EQ(split.validation.size(), 20u);
+    EXPECT_EQ(split.test.size(), 20u);
+}
+
+TEST(ChronologicalSplit, PreservesOrderAndDisjoint)
+{
+    Dataset data = sequentialDataset(50);
+    DataSplit split = chronologicalSplit(data);
+    // Train ends exactly where validation starts; no overlap.
+    double last_train = split.train.inputs.at(split.train.size() - 1, 0);
+    double first_val = split.validation.inputs.at(0, 0);
+    double last_val =
+        split.validation.inputs.at(split.validation.size() - 1, 0);
+    double first_test = split.test.inputs.at(0, 0);
+    EXPECT_DOUBLE_EQ(first_val, last_train + 1.0);
+    EXPECT_DOUBLE_EQ(first_test, last_val + 1.0);
+}
+
+TEST(ChronologicalSplit, CustomFractions)
+{
+    Dataset data = sequentialDataset(10);
+    DataSplit split = chronologicalSplit(data, 0.5, 0.3);
+    EXPECT_EQ(split.train.size(), 5u);
+    EXPECT_EQ(split.validation.size(), 3u);
+    EXPECT_EQ(split.test.size(), 2u);
+}
+
+TEST(ChronologicalSplit, TotalCoversEverything)
+{
+    for (size_t n : {7u, 13u, 100u, 101u}) {
+        Dataset data = sequentialDataset(n);
+        DataSplit split = chronologicalSplit(data);
+        EXPECT_EQ(split.train.size() + split.validation.size() +
+                      split.test.size(),
+                  n);
+    }
+}
+
+TEST(ChronologicalSplitDeathTest, BadFractions)
+{
+    Dataset data = sequentialDataset(10);
+    EXPECT_DEATH(chronologicalSplit(data, 0.0, 0.2), "fractions");
+    EXPECT_DEATH(chronologicalSplit(data, 0.8, 0.2), "fractions");
+}
+
+} // namespace
+} // namespace nn
+} // namespace geo

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the SGD and Adam optimizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.hh"
+
+namespace geo {
+namespace nn {
+namespace {
+
+TEST(Sgd, BasicStep)
+{
+    Matrix param = Matrix::fromRows({{1.0, 2.0}});
+    Matrix grad = Matrix::fromRows({{0.5, -1.0}});
+    SgdOptimizer opt(0.1);
+    opt.step({&param}, {&grad});
+    EXPECT_DOUBLE_EQ(param.at(0, 0), 0.95);
+    EXPECT_DOUBLE_EQ(param.at(0, 1), 2.1);
+}
+
+TEST(Sgd, ClippingScalesLargeGradients)
+{
+    Matrix param(1, 1);
+    Matrix grad = Matrix::fromRows({{100.0}});
+    SgdOptimizer opt(1.0, /*clip_norm=*/1.0);
+    opt.step({&param}, {&grad});
+    // Gradient scaled down to norm 1 -> step of exactly -1.
+    EXPECT_NEAR(param.at(0, 0), -1.0, 1e-12);
+}
+
+TEST(Sgd, ClippingLeavesSmallGradientsAlone)
+{
+    Matrix param(1, 1);
+    Matrix grad = Matrix::fromRows({{0.5}});
+    SgdOptimizer opt(1.0, /*clip_norm=*/10.0);
+    opt.step({&param}, {&grad});
+    EXPECT_DOUBLE_EQ(param.at(0, 0), -0.5);
+}
+
+TEST(Sgd, GlobalNormAcrossTensors)
+{
+    Matrix p1(1, 1), p2(1, 1);
+    Matrix g1 = Matrix::fromRows({{3.0}});
+    Matrix g2 = Matrix::fromRows({{4.0}});
+    SgdOptimizer opt(1.0, /*clip_norm=*/5.0); // norm is exactly 5
+    opt.step({&p1, &p2}, {&g1, &g2});
+    EXPECT_NEAR(p1.at(0, 0), -3.0, 1e-12);
+    EXPECT_NEAR(p2.at(0, 0), -4.0, 1e-12);
+}
+
+TEST(SgdDeathTest, MismatchedLists)
+{
+    Matrix p(1, 1), g(1, 1);
+    SgdOptimizer opt(0.1);
+    EXPECT_DEATH(opt.step({&p}, {}), "params");
+}
+
+TEST(Sgd, ConvergesOnQuadratic)
+{
+    // Minimize (x - 3)^2 by following its gradient.
+    Matrix x(1, 1);
+    SgdOptimizer opt(0.1);
+    for (int i = 0; i < 200; ++i) {
+        Matrix grad = Matrix::fromRows({{2.0 * (x.at(0, 0) - 3.0)}});
+        opt.step({&x}, {&grad});
+    }
+    EXPECT_NEAR(x.at(0, 0), 3.0, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    Matrix x(1, 1);
+    AdamOptimizer opt(0.1);
+    for (int i = 0; i < 500; ++i) {
+        Matrix grad = Matrix::fromRows({{2.0 * (x.at(0, 0) - 3.0)}});
+        opt.step({&x}, {&grad});
+    }
+    EXPECT_NEAR(x.at(0, 0), 3.0, 1e-3);
+}
+
+TEST(Adam, FirstStepBoundedByLearningRate)
+{
+    Matrix x(1, 1);
+    Matrix grad = Matrix::fromRows({{1000.0}});
+    AdamOptimizer opt(0.01);
+    opt.step({&x}, {&grad});
+    // Adam's bias-corrected first step is ~lr regardless of magnitude.
+    EXPECT_NEAR(x.at(0, 0), -0.01, 1e-6);
+}
+
+TEST(Adam, StatefulMomentumAcrossSteps)
+{
+    Matrix x(1, 1);
+    AdamOptimizer opt(0.01);
+    Matrix grad = Matrix::fromRows({{1.0}});
+    opt.step({&x}, {&grad});
+    double after_one = x.at(0, 0);
+    opt.step({&x}, {&grad});
+    EXPECT_LT(x.at(0, 0), after_one); // keeps moving in same direction
+}
+
+TEST(AdamDeathTest, ParameterListChanged)
+{
+    Matrix p1(1, 1), p2(1, 1), g(1, 1);
+    AdamOptimizer opt(0.01);
+    opt.step({&p1}, {&g});
+    EXPECT_DEATH(opt.step({&p1, &p2}, {&g, &g}), "changed size");
+}
+
+TEST(Optimizer, LearningRateAccessors)
+{
+    SgdOptimizer opt(0.05);
+    EXPECT_DOUBLE_EQ(opt.learningRate(), 0.05);
+    opt.setLearningRate(0.1);
+    EXPECT_DOUBLE_EQ(opt.learningRate(), 0.1);
+    EXPECT_EQ(opt.name(), "sgd");
+    EXPECT_EQ(AdamOptimizer().name(), "adam");
+}
+
+} // namespace
+} // namespace nn
+} // namespace geo

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the Bluesky testbed preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/bluesky.hh"
+
+namespace geo {
+namespace storage {
+namespace {
+
+TEST(Bluesky, SixMounts)
+{
+    auto system = makeBlueskySystem();
+    EXPECT_EQ(system->deviceCount(), 6u);
+    for (const std::string &name : blueskyMountNames())
+        EXPECT_NO_FATAL_FAILURE(system->deviceByName(name)) << name;
+}
+
+TEST(Bluesky, MountNamesMatchPaper)
+{
+    EXPECT_EQ(blueskyMountNames(),
+              (std::vector<std::string>{"file0", "pic", "people", "tmp",
+                                        "var", "USBtmp"}));
+}
+
+TEST(Bluesky, File0FastestReadUsbSlowest)
+{
+    auto system = makeBlueskySystem();
+    const StorageDevice &file0 =
+        system->device(system->deviceByName("file0"));
+    const StorageDevice &usb =
+        system->device(system->deviceByName("USBtmp"));
+    for (const std::string &name : blueskyMountNames()) {
+        const StorageDevice &dev = system->device(system->deviceByName(name));
+        EXPECT_LE(dev.config().readBandwidth,
+                  file0.config().readBandwidth)
+            << name;
+        EXPECT_GE(dev.config().readBandwidth, usb.config().readBandwidth)
+            << name;
+    }
+}
+
+TEST(Bluesky, Raid5WriteImbalance)
+{
+    // The paper notes LRU struggles with file0's read/write imbalance.
+    auto system = makeBlueskySystem();
+    const DeviceConfig &file0 =
+        system->device(system->deviceByName("file0")).config();
+    EXPECT_GT(file0.readBandwidth / file0.writeBandwidth, 2.5);
+}
+
+TEST(Bluesky, SharedMountsCarryMoreExternalLoad)
+{
+    auto system = makeBlueskySystem();
+    auto mean_load = [&](const std::string &name) {
+        const StorageDevice &dev =
+            system->device(system->deviceByName(name));
+        double total = 0.0;
+        for (int i = 0; i < 2000; ++i)
+            total += dev.externalLoad(static_cast<double>(i) * 3.3);
+        return total / 2000.0;
+    };
+    double people = mean_load("people");
+    double pic = mean_load("pic");
+    double file0 = mean_load("file0");
+    double usb = mean_load("USBtmp");
+    EXPECT_GT(people, file0);
+    EXPECT_GT(pic, file0);
+    EXPECT_GT(file0, usb);
+}
+
+TEST(Bluesky, DeterministicAcrossSeeds)
+{
+    auto s1 = makeBlueskySystem(7);
+    auto s2 = makeBlueskySystem(7);
+    auto s3 = makeBlueskySystem(8);
+    const StorageDevice &a = s1->device(2);
+    const StorageDevice &b = s2->device(2);
+    const StorageDevice &c = s3->device(2);
+    double t = 1234.5;
+    EXPECT_DOUBLE_EQ(a.externalLoad(t), b.externalLoad(t));
+    // Different traffic seed -> different burst pattern somewhere.
+    bool differs = false;
+    for (int i = 0; i < 1000 && !differs; ++i)
+        differs = a.externalLoad(i * 17.0) != c.externalLoad(i * 17.0);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Bluesky, CapacitiesHoldBelle2Files)
+{
+    // 24 files of <= 1.1 GB each must fit on every mount.
+    auto system = makeBlueskySystem();
+    uint64_t worst_case = 24ULL * 1181116006ULL;
+    for (DeviceId id : system->deviceIds())
+        EXPECT_GT(system->device(id).capacityBytes(), worst_case);
+}
+
+} // namespace
+} // namespace storage
+} // namespace geo

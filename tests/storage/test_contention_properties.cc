@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property tests for the contention model: the monotonicities the
+ * evaluation depends on (more load => less bandwidth; bigger files =>
+ * costlier moves; bandwidth ordering preserved under equal load).
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/system.hh"
+
+namespace geo {
+namespace storage {
+namespace {
+
+DeviceConfig
+deviceWithLoad(double base_load, double read_bw = 1e9)
+{
+    DeviceConfig config;
+    config.name = "dev";
+    config.readBandwidth = read_bw;
+    config.writeBandwidth = read_bw / 2;
+    config.traffic.baseLoad = base_load;
+    config.traffic.diurnalAmplitude = 0.0;
+    config.traffic.burstProbability = 0.0;
+    config.traffic.noiseAmplitude = 0.0;
+    return config;
+}
+
+/** Bandwidth decreases monotonically with external load. */
+class LoadMonotonicity : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(LoadMonotonicity, MoreLoadLessBandwidth)
+{
+    double load = GetParam();
+    StorageDevice lighter(0, deviceWithLoad(load));
+    StorageDevice heavier(1, deviceWithLoad(load + 0.5));
+    EXPECT_GT(lighter.effectiveBandwidth(true, 0.0),
+              heavier.effectiveBandwidth(true, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadMonotonicity,
+                         testing::Values(0.0, 0.1, 0.5, 1.0, 2.0, 5.0));
+
+/** Transfer cost grows with file size. */
+class MoveCostMonotonicity : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MoveCostMonotonicity, BiggerFilesCostMore)
+{
+    uint64_t size = GetParam();
+    StorageSystem small_system;
+    small_system.addDevice(deviceWithLoad(0.0));
+    small_system.addDevice(deviceWithLoad(0.0));
+    FileId small = small_system.addFile("s", size, 0);
+    double small_cost = small_system.moveFile(small, 1).seconds;
+
+    StorageSystem big_system;
+    big_system.addDevice(deviceWithLoad(0.0));
+    big_system.addDevice(deviceWithLoad(0.0));
+    FileId big = big_system.addFile("b", size * 2, 0);
+    double big_cost = big_system.moveFile(big, 1).seconds;
+
+    EXPECT_GT(big_cost, small_cost);
+    EXPECT_NEAR(big_cost, 2.0 * small_cost, small_cost * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MoveCostMonotonicity,
+                         testing::Values<uint64_t>(1 << 16, 1 << 20,
+                                                   1 << 24, 1 << 28));
+
+TEST(ContentionProperties, BandwidthOrderingPreservedUnderEqualLoad)
+{
+    // Device ranking by base bandwidth survives any common load level.
+    for (double load : {0.0, 0.3, 1.0, 3.0}) {
+        StorageDevice fast(0, deviceWithLoad(load, 4e9));
+        StorageDevice medium(1, deviceWithLoad(load, 2e9));
+        StorageDevice slow(2, deviceWithLoad(load, 1e9));
+        double f = fast.effectiveBandwidth(true, 0.0);
+        double m = medium.effectiveBandwidth(true, 0.0);
+        double s = slow.effectiveBandwidth(true, 0.0);
+        EXPECT_GT(f, m);
+        EXPECT_GT(m, s);
+    }
+}
+
+TEST(ContentionProperties, ThroughputMonotoneInAccessSize)
+{
+    // Fixed latency amortizes: bigger accesses measure higher
+    // throughput on an uncontended device.
+    StorageDevice dev(0, deviceWithLoad(0.0));
+    double previous = 0.0;
+    for (uint64_t bytes : {1ULL << 10, 1ULL << 14, 1ULL << 18,
+                           1ULL << 22, 1ULL << 26}) {
+        StorageDevice fresh(0, deviceWithLoad(0.0));
+        DeviceAccess access = fresh.access(bytes, true, 0.0);
+        EXPECT_GT(access.throughput, previous);
+        previous = access.throughput;
+    }
+}
+
+TEST(ContentionProperties, SaturationConvergesBelowBase)
+{
+    // Back-to-back accesses drive self-load toward ~1, halving the
+    // effective bandwidth relative to an idle device.
+    StorageDevice dev(0, deviceWithLoad(0.0));
+    double t = 0.0;
+    // Enough sustained traffic to pass several self-load time
+    // constants (500+ seconds of busy time vs tau = 20 s).
+    for (int i = 0; i < 600; ++i)
+        t += dev.access(100 << 20, true, t).duration;
+    double saturated = dev.effectiveBandwidth(true, t);
+    StorageDevice idle(1, deviceWithLoad(0.0));
+    double fresh = idle.effectiveBandwidth(true, 0.0);
+    EXPECT_LT(saturated, fresh * 0.7);
+    EXPECT_GT(saturated, fresh * 0.3);
+}
+
+TEST(ContentionProperties, ConcurrentAccessLoadsWithoutTime)
+{
+    StorageSystem system;
+    system.addDevice(deviceWithLoad(0.0));
+    FileId file = system.addFile("f", 100 << 20, 0);
+    double before_clock = system.clock().now();
+    AccessObservation obs = system.accessConcurrent(file, 50 << 20, true);
+    EXPECT_DOUBLE_EQ(system.clock().now(), before_clock);
+    EXPECT_GT(obs.throughput, 0.0);
+    EXPECT_GT(obs.endTime, obs.startTime);
+    // The device is now loaded even though no time passed.
+    EXPECT_GT(system.device(0).selfLoad(before_clock), 0.0);
+}
+
+TEST(ContentionProperties, ConcurrentClientsSlowEachOther)
+{
+    StorageSystem system;
+    system.addDevice(deviceWithLoad(0.0));
+    FileId file = system.addFile("f", 1ULL << 30, 0);
+    AccessObservation first = system.accessConcurrent(file, 100 << 20, true);
+    for (int i = 0; i < 20; ++i)
+        system.accessConcurrent(file, 100 << 20, true);
+    AccessObservation crowded =
+        system.accessConcurrent(file, 100 << 20, true);
+    EXPECT_LT(crowded.throughput, first.throughput);
+}
+
+} // namespace
+} // namespace storage
+} // namespace geo

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the deterministic external-traffic model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/external_traffic.hh"
+
+namespace geo {
+namespace storage {
+namespace {
+
+TEST(ExternalTraffic, DeterministicPureFunction)
+{
+    ExternalTrafficConfig config;
+    config.seed = 5;
+    ExternalTraffic t1(config), t2(config);
+    for (double at : {0.0, 10.0, 123.4, 9999.0})
+        EXPECT_DOUBLE_EQ(t1.load(at), t2.load(at));
+}
+
+TEST(ExternalTraffic, NonNegativeEverywhere)
+{
+    ExternalTrafficConfig config;
+    config.baseLoad = 0.0;
+    config.noiseAmplitude = 0.5;
+    ExternalTraffic traffic(config);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_GE(traffic.load(static_cast<double>(i) * 1.7), 0.0);
+}
+
+TEST(ExternalTraffic, DiurnalHasPeriod)
+{
+    ExternalTrafficConfig config;
+    config.periodSeconds = 100.0;
+    ExternalTraffic traffic(config);
+    for (double at : {5.0, 33.0, 71.0})
+        EXPECT_NEAR(traffic.diurnal(at), traffic.diurnal(at + 100.0),
+                    1e-9);
+}
+
+TEST(ExternalTraffic, DiurnalBoundedByAmplitude)
+{
+    ExternalTrafficConfig config;
+    config.diurnalAmplitude = 0.8;
+    ExternalTraffic traffic(config);
+    for (int i = 0; i < 1000; ++i) {
+        double d = traffic.diurnal(static_cast<double>(i));
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 0.8);
+    }
+}
+
+TEST(ExternalTraffic, BurstsRaiseLoad)
+{
+    ExternalTrafficConfig config;
+    config.baseLoad = 0.1;
+    config.diurnalAmplitude = 0.0;
+    config.noiseAmplitude = 0.0;
+    config.burstProbability = 0.05;
+    config.burstMagnitude = 10.0;
+    ExternalTraffic traffic(config);
+
+    bool saw_burst = false, saw_quiet = false;
+    for (int i = 0; i < 10000; ++i) {
+        double at = static_cast<double>(i) * config.burstSeconds;
+        if (traffic.inBurst(at)) {
+            saw_burst = true;
+            EXPECT_GT(traffic.load(at), 5.0);
+        } else {
+            saw_quiet = true;
+            EXPECT_LT(traffic.load(at), 1.0);
+        }
+    }
+    EXPECT_TRUE(saw_burst);
+    EXPECT_TRUE(saw_quiet);
+}
+
+TEST(ExternalTraffic, BurstFrequencyNearConfig)
+{
+    ExternalTrafficConfig config;
+    config.burstProbability = 0.03;
+    ExternalTraffic traffic(config);
+    int bursts = 0;
+    const int buckets = 50000;
+    for (int i = 0; i < buckets; ++i)
+        bursts += traffic.inBurst(static_cast<double>(i) *
+                                  config.burstSeconds)
+                      ? 1
+                      : 0;
+    EXPECT_NEAR(static_cast<double>(bursts) / buckets, 0.03, 0.005);
+}
+
+TEST(ExternalTraffic, SeedsDecorrelateDevices)
+{
+    ExternalTrafficConfig c1, c2;
+    c1.seed = 1;
+    c2.seed = 2;
+    c1.burstProbability = c2.burstProbability = 0.1;
+    ExternalTraffic t1(c1), t2(c2);
+    int both = 0, either = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double at = static_cast<double>(i) * c1.burstSeconds;
+        bool b1 = t1.inBurst(at), b2 = t2.inBurst(at);
+        both += (b1 && b2) ? 1 : 0;
+        either += (b1 || b2) ? 1 : 0;
+    }
+    // Independent bursts: P(both) ~ p^2, far below P(either).
+    EXPECT_LT(both * 5, either);
+}
+
+TEST(ExternalTraffic, NegativeTimeClamped)
+{
+    ExternalTraffic traffic({});
+    EXPECT_GE(traffic.load(-100.0), 0.0);
+}
+
+TEST(ExternalTrafficDeathTest, BadPeriod)
+{
+    ExternalTrafficConfig config;
+    config.periodSeconds = 0.0;
+    EXPECT_DEATH(ExternalTraffic{config}, "period");
+}
+
+} // namespace
+} // namespace storage
+} // namespace geo

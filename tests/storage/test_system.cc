@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the storage system (files, accesses, migrations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/system.hh"
+
+namespace geo {
+namespace storage {
+namespace {
+
+DeviceConfig
+namedDevice(const std::string &name, double bw = 1e9,
+            uint64_t capacity = 1ULL << 30)
+{
+    DeviceConfig config;
+    config.name = name;
+    config.readBandwidth = bw;
+    config.writeBandwidth = bw / 2.0;
+    config.capacityBytes = capacity;
+    config.traffic.baseLoad = 0.0;
+    config.traffic.diurnalAmplitude = 0.0;
+    config.traffic.burstProbability = 0.0;
+    config.traffic.noiseAmplitude = 0.0;
+    return config;
+}
+
+StorageSystem
+twoDeviceSystem()
+{
+    StorageSystem system;
+    system.addDevice(namedDevice("fast", 2e9));
+    system.addDevice(namedDevice("slow", 2e8));
+    return system;
+}
+
+TEST(StorageSystem, AddAndLookupDevices)
+{
+    StorageSystem system = twoDeviceSystem();
+    EXPECT_EQ(system.deviceCount(), 2u);
+    EXPECT_EQ(system.deviceByName("fast"), 0u);
+    EXPECT_EQ(system.deviceByName("slow"), 1u);
+    EXPECT_EQ(system.deviceIds(), (std::vector<DeviceId>{0, 1}));
+}
+
+TEST(StorageSystemDeathTest, UnknownDeviceName)
+{
+    StorageSystem system = twoDeviceSystem();
+    EXPECT_DEATH(system.deviceByName("missing"), "no device");
+}
+
+TEST(StorageSystem, AddFileReservesCapacity)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 1000, 0);
+    EXPECT_EQ(system.fileCount(), 1u);
+    EXPECT_EQ(system.location(file), 0u);
+    EXPECT_EQ(system.device(0).usedBytes(), 1000u);
+}
+
+TEST(StorageSystemDeathTest, AddFileOverCapacity)
+{
+    StorageSystem system;
+    system.addDevice(namedDevice("tiny", 1e9, 100));
+    EXPECT_DEATH(system.addFile("big", 200, 0), "cannot hold");
+}
+
+TEST(StorageSystem, AccessAdvancesClockAndReportsThroughput)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 1000000, 0);
+    double before = system.clock().now();
+    AccessObservation obs = system.access(file, 500000, true);
+    EXPECT_GT(system.clock().now(), before);
+    EXPECT_EQ(obs.file, file);
+    EXPECT_EQ(obs.device, 0u);
+    EXPECT_EQ(obs.readBytes, 500000u);
+    EXPECT_EQ(obs.writtenBytes, 0u);
+    EXPECT_GT(obs.throughput, 0.0);
+    EXPECT_DOUBLE_EQ(obs.endTime - obs.startTime, obs.duration());
+}
+
+TEST(StorageSystem, WriteAccessRecordsWrittenBytes)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 1000000, 0);
+    AccessObservation obs = system.access(file, 1234, false);
+    EXPECT_EQ(obs.writtenBytes, 1234u);
+    EXPECT_EQ(obs.readBytes, 0u);
+}
+
+TEST(StorageSystem, MoveFileChangesLocationAndCapacity)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 1000, 0);
+    MoveResult result = system.moveFile(file, 1);
+    EXPECT_TRUE(result.moved);
+    EXPECT_EQ(result.from, 0u);
+    EXPECT_EQ(result.to, 1u);
+    EXPECT_GT(result.seconds, 0.0);
+    EXPECT_EQ(system.location(file), 1u);
+    EXPECT_EQ(system.device(0).usedBytes(), 0u);
+    EXPECT_EQ(system.device(1).usedBytes(), 1000u);
+    EXPECT_EQ(system.migrationCount(), 1u);
+    EXPECT_EQ(system.migratedBytes(), 1000u);
+}
+
+TEST(StorageSystem, MoveToSameDeviceIsNoOp)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 1000, 0);
+    MoveResult result = system.moveFile(file, 0);
+    EXPECT_FALSE(result.moved);
+    EXPECT_EQ(system.migrationCount(), 0u);
+}
+
+TEST(StorageSystem, MoveToMissingDeviceFails)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 1000, 0);
+    EXPECT_FALSE(system.moveFile(file, 99).moved);
+}
+
+TEST(StorageSystem, MoveToReadOnlyDeviceFails)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 1000, 0);
+    system.device(1).setWritable(false);
+    EXPECT_FALSE(system.moveFile(file, 1).moved);
+    EXPECT_EQ(system.location(file), 0u);
+}
+
+TEST(StorageSystem, MoveToFullDeviceFails)
+{
+    StorageSystem system;
+    system.addDevice(namedDevice("a", 1e9, 2000));
+    system.addDevice(namedDevice("b", 1e9, 500));
+    FileId file = system.addFile("f.root", 1000, 0);
+    EXPECT_FALSE(system.moveFile(file, 1).moved);
+}
+
+TEST(StorageSystem, MoveCostBoundedByNetwork)
+{
+    SystemConfig config;
+    config.networkBandwidth = 1e6; // slow network dominates
+    StorageSystem system(config);
+    system.addDevice(namedDevice("a", 1e9));
+    system.addDevice(namedDevice("b", 1e9));
+    FileId file = system.addFile("f.root", 1000000, 0);
+    MoveResult result = system.moveFile(file, 1);
+    EXPECT_NEAR(result.seconds, 1.0, 0.05);
+}
+
+TEST(StorageSystem, BackgroundMovesDontAdvanceClock)
+{
+    StorageSystem system = twoDeviceSystem(); // default: background
+    FileId file = system.addFile("f.root", 1000000, 0);
+    double before = system.clock().now();
+    system.moveFile(file, 1);
+    EXPECT_DOUBLE_EQ(system.clock().now(), before);
+}
+
+TEST(StorageSystem, ForegroundMovesAdvanceClock)
+{
+    SystemConfig config;
+    config.backgroundMoves = false;
+    StorageSystem system(config);
+    system.addDevice(namedDevice("a"));
+    system.addDevice(namedDevice("b"));
+    FileId file = system.addFile("f.root", 1000000, 0);
+    system.moveFile(file, 1);
+    EXPECT_GT(system.clock().now(), 0.0);
+}
+
+TEST(StorageSystem, MigrationLoadsBothDevices)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 100000000, 0);
+    double src_before = system.device(0).selfLoad(0.0);
+    double dst_before = system.device(1).selfLoad(0.0);
+    system.moveFile(file, 1);
+    EXPECT_GT(system.device(0).selfLoad(0.0), src_before);
+    EXPECT_GT(system.device(1).selfLoad(0.0), dst_before);
+}
+
+TEST(StorageSystem, ObserversFire)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId file = system.addFile("f.root", 1000, 0);
+    int accesses = 0, moves = 0;
+    system.onAccess([&](const AccessObservation &) { ++accesses; });
+    system.onMove([&](const MoveResult &) { ++moves; });
+    system.access(file, 100, true);
+    system.moveFile(file, 1);
+    system.moveFile(file, 1); // no-op, must not fire
+    EXPECT_EQ(accesses, 1);
+    EXPECT_EQ(moves, 1);
+}
+
+TEST(StorageSystem, LayoutSnapshot)
+{
+    StorageSystem system = twoDeviceSystem();
+    FileId f1 = system.addFile("a", 10, 0);
+    FileId f2 = system.addFile("b", 10, 1);
+    auto layout = system.layout();
+    EXPECT_EQ(layout.at(f1), 0u);
+    EXPECT_EQ(layout.at(f2), 1u);
+    auto counts = system.filesPerDevice();
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(StorageSystemDeathTest, BadFileId)
+{
+    StorageSystem system = twoDeviceSystem();
+    EXPECT_DEATH(system.file(0), "out of range");
+}
+
+} // namespace
+} // namespace storage
+} // namespace geo

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The CERN EOS configuration: the 13-feature variant of the pipeline
+ * (paper Section V-G trains with 13 metrics from the EOS logs) end to
+ * end — dataset assembly, Z = 13 model construction, and a training
+ * smoke test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+#include "trace/eos_trace_gen.hh"
+#include "trace/feature_matrix.hh"
+#include "trace/feature_select.hh"
+
+namespace geo {
+namespace trace {
+namespace {
+
+std::vector<AccessRecord>
+sampleTrace(size_t n = 2000)
+{
+    EosTraceGenerator gen({});
+    return gen.generate(n);
+}
+
+TEST(CernConfig, ThirteenFeatures)
+{
+    EXPECT_EQ(cernFeatureSet().size(), 13u);
+    for (const std::string &name : cernFeatureSet()) {
+        bool known = false;
+        for (const std::string &feature : accessFeatureNames())
+            known = known || feature == name;
+        EXPECT_TRUE(known) << name;
+    }
+}
+
+TEST(CernConfig, DatasetShape)
+{
+    PreparedData prepared =
+        prepareDataset(sampleTrace(500), cernFeatureSet());
+    EXPECT_EQ(prepared.dataset.inputs.cols(), 13u);
+    EXPECT_EQ(prepared.dataset.size(), 500u);
+}
+
+TEST(CernConfig, Model1WidthScalesWithZ)
+{
+    Rng rng(13);
+    nn::Sequential model = nn::buildModel(1, 13, rng);
+    EXPECT_EQ(model.inputSize(), 13u);
+    EXPECT_EQ(model.layer(0).outputSize(), 16u * 13u);
+}
+
+TEST(CernConfig, TrainingSmokeTest)
+{
+    PreparedData prepared =
+        prepareDataset(sampleTrace(1500), cernFeatureSet());
+    nn::DataSplit split = nn::chronologicalSplit(prepared.dataset);
+    Rng rng(14);
+    nn::Sequential model = nn::buildModel(1, 13, rng);
+    nn::SgdOptimizer opt(0.05, 5.0);
+    nn::TrainOptions options;
+    options.epochs = 10;
+    nn::TrainResult result =
+        model.train(split.train, split.validation, opt, options);
+    EXPECT_FALSE(result.diverged);
+    EXPECT_LT(result.trainLoss.back(), result.trainLoss.front());
+}
+
+TEST(CernConfig, RecurrentWindowWithZ13)
+{
+    PrepareOptions options;
+    options.window = 4;
+    PreparedData prepared =
+        prepareDataset(sampleTrace(200), cernFeatureSet(), options);
+    EXPECT_EQ(prepared.dataset.inputs.cols(), 13u * 4u);
+
+    Rng rng(15);
+    nn::Sequential model = nn::buildModel(12, 13, rng, 4); // LSTM
+    EXPECT_EQ(model.inputSize(), prepared.dataset.inputs.cols());
+    nn::Matrix out = model.predict(prepared.dataset.inputs.rowRange(0, 8));
+    EXPECT_EQ(out.rows(), 8u);
+    EXPECT_FALSE(out.hasNonFinite());
+}
+
+} // namespace
+} // namespace trace
+} // namespace geo

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the synthetic EOS trace generator: shape, determinism, and
+ * the correlation structure that Fig. 4 depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/eos_trace_gen.hh"
+#include "trace/feature_select.hh"
+#include "util/stats.hh"
+
+namespace geo {
+namespace trace {
+namespace {
+
+TEST(EosTraceGenerator, GeneratesRequestedCount)
+{
+    EosTraceGenerator gen({});
+    EXPECT_EQ(gen.generate(100).size(), 100u);
+}
+
+TEST(EosTraceGenerator, ChronologicalOpenTimes)
+{
+    EosTraceGenerator gen({});
+    std::vector<AccessRecord> records = gen.generate(500);
+    for (size_t i = 1; i < records.size(); ++i)
+        EXPECT_GE(records[i].openTime(), records[i - 1].openTime());
+}
+
+TEST(EosTraceGenerator, CloseAfterOpen)
+{
+    EosTraceGenerator gen({});
+    for (const AccessRecord &rec : gen.generate(500))
+        EXPECT_GT(rec.closeTime(), rec.openTime());
+}
+
+TEST(EosTraceGenerator, DeterministicWithSeed)
+{
+    EosTraceConfig config;
+    config.seed = 77;
+    EosTraceGenerator gen1(config), gen2(config);
+    std::vector<AccessRecord> a = gen1.generate(50);
+    std::vector<AccessRecord> b = gen2.generate(50);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].fid, b[i].fid);
+        EXPECT_EQ(a[i].rb, b[i].rb);
+        EXPECT_EQ(a[i].ots, b[i].ots);
+    }
+}
+
+TEST(EosTraceGenerator, DifferentSeedsDiffer)
+{
+    EosTraceConfig c1, c2;
+    c1.seed = 1;
+    c2.seed = 2;
+    EosTraceGenerator gen1(c1), gen2(c2);
+    std::vector<AccessRecord> a = gen1.generate(50);
+    std::vector<AccessRecord> b = gen2.generate(50);
+    size_t same = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i].fid == b[i].fid && a[i].rb == b[i].rb)
+            ++same;
+    EXPECT_LT(same, 10u);
+}
+
+TEST(EosTraceGenerator, FieldRangesValid)
+{
+    EosTraceConfig config;
+    EosTraceGenerator gen(config);
+    for (const AccessRecord &rec : gen.generate(1000)) {
+        EXPECT_GE(rec.fid, 1u);
+        EXPECT_LE(rec.fid, config.fileCount);
+        EXPECT_GE(rec.fsid, 1u);
+        EXPECT_LE(rec.fsid, config.deviceCount);
+        EXPECT_TRUE(rec.rb > 0 || rec.wb > 0);
+        EXPECT_FALSE(rec.path.empty());
+        EXPECT_GE(rec.otms, 0);
+        EXPECT_LT(rec.otms, 1000);
+    }
+}
+
+TEST(EosTraceGenerator, ReadWriteMixMatchesConfig)
+{
+    EosTraceConfig config;
+    config.readFraction = 0.85;
+    EosTraceGenerator gen(config);
+    size_t reads = 0, total = 0;
+    for (const AccessRecord &rec : gen.generate(5000)) {
+        ++total;
+        if (rec.rb > 0)
+            ++reads;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / static_cast<double>(total),
+                0.85, 0.03);
+}
+
+TEST(EosTraceGenerator, FilePathLookup)
+{
+    EosTraceGenerator gen({});
+    std::vector<AccessRecord> records = gen.generate(10);
+    for (const AccessRecord &rec : records)
+        EXPECT_EQ(gen.filePath(rec.fid), rec.path);
+}
+
+TEST(EosTraceGeneratorDeathTest, BadFid)
+{
+    EosTraceGenerator gen({});
+    EXPECT_DEATH(gen.filePath(0), "fid");
+    EXPECT_DEATH(gen.filePath(999999), "fid");
+}
+
+/**
+ * The Fig. 4 correlation structure: transfer sizes correlate
+ * positively with throughput, read/write times strongly negatively.
+ */
+TEST(EosTraceGenerator, CorrelationSignsMatchPaper)
+{
+    EosTraceGenerator gen({});
+    std::vector<AccessRecord> records = gen.generate(20000);
+
+    std::vector<double> tp, rb, rt;
+    for (const AccessRecord &rec : records) {
+        tp.push_back(rec.throughput());
+        rb.push_back(static_cast<double>(rec.rb));
+        rt.push_back(rec.rt);
+    }
+    EXPECT_GT(pearson(rb, tp), 0.1) << "bytes read should help";
+    EXPECT_LT(pearson(rt, tp), -0.05) << "long read times should hurt";
+}
+
+TEST(EosTraceGeneratorDeathTest, EmptyCluster)
+{
+    EosTraceConfig config;
+    config.deviceCount = 0;
+    EXPECT_DEATH(EosTraceGenerator{config}, "empty");
+}
+
+} // namespace
+} // namespace trace
+} // namespace geo

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for correlation-based feature screening (Fig. 4 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/eos_trace_gen.hh"
+#include "trace/feature_select.hh"
+
+namespace geo {
+namespace trace {
+namespace {
+
+std::vector<AccessRecord>
+sampleTrace(size_t n = 5000)
+{
+    EosTraceGenerator gen({});
+    return gen.generate(n);
+}
+
+TEST(FeatureSelect, PaperSetHasSixFeatures)
+{
+    EXPECT_EQ(paperSelectedFeatures().size(), 6u);
+    EXPECT_EQ(cernFeatureSet().size(), 13u);
+}
+
+TEST(FeatureSelect, CorrelationsCoverAllFeatures)
+{
+    std::vector<FeatureCorrelation> all =
+        correlateFeatures(sampleTrace());
+    EXPECT_EQ(all.size(), accessFeatureNames().size());
+}
+
+TEST(FeatureSelect, SortedDescending)
+{
+    std::vector<FeatureCorrelation> all =
+        correlateFeatures(sampleTrace());
+    for (size_t i = 1; i < all.size(); ++i)
+        EXPECT_GE(all[i - 1].correlation, all[i].correlation);
+}
+
+TEST(FeatureSelect, ChosenFlagsMatchSelection)
+{
+    std::vector<FeatureCorrelation> all =
+        correlateFeatures(sampleTrace());
+    size_t chosen = 0;
+    for (const FeatureCorrelation &fc : all) {
+        bool in_paper_set =
+            std::find(paperSelectedFeatures().begin(),
+                      paperSelectedFeatures().end(),
+                      fc.name) != paperSelectedFeatures().end();
+        EXPECT_EQ(fc.chosen, in_paper_set) << fc.name;
+        chosen += fc.chosen ? 1 : 0;
+    }
+    EXPECT_EQ(chosen, 6u);
+}
+
+TEST(FeatureSelect, CorrelationsWithinMinusOneOne)
+{
+    for (const FeatureCorrelation &fc : correlateFeatures(sampleTrace())) {
+        EXPECT_GE(fc.correlation, -1.0) << fc.name;
+        EXPECT_LE(fc.correlation, 1.0) << fc.name;
+    }
+}
+
+TEST(FeatureSelect, ReadWriteTimesNegative)
+{
+    // The paper rejects rt/wt for being strongly negatively correlated.
+    for (const FeatureCorrelation &fc :
+         correlateFeatures(sampleTrace(20000))) {
+        if (fc.name == "rt")
+            EXPECT_LT(fc.correlation, 0.0);
+    }
+}
+
+TEST(FeatureSelect, TopKReturnsKLargestByMagnitude)
+{
+    std::vector<AccessRecord> records = sampleTrace();
+    std::vector<std::string> top = selectTopFeatures(records, 4);
+    EXPECT_EQ(top.size(), 4u);
+
+    std::vector<FeatureCorrelation> all = correlateFeatures(records, {});
+    std::sort(all.begin(), all.end(),
+              [](const auto &a, const auto &b) {
+                  return std::abs(a.correlation) > std::abs(b.correlation);
+              });
+    for (size_t i = 0; i < top.size(); ++i)
+        EXPECT_EQ(top[i], all[i].name);
+}
+
+TEST(FeatureSelect, TopKClampedToFeatureCount)
+{
+    std::vector<std::string> top =
+        selectTopFeatures(sampleTrace(500), 999);
+    EXPECT_EQ(top.size(), accessFeatureNames().size());
+}
+
+TEST(FeatureSelectDeathTest, EmptyRecords)
+{
+    std::vector<AccessRecord> empty;
+    EXPECT_DEATH(correlateFeatures(empty), "no records");
+}
+
+} // namespace
+} // namespace trace
+} // namespace geo

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for min-max normalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/normalizer.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace trace {
+namespace {
+
+using nn::Matrix;
+
+TEST(MinMaxNormalizer, TransformsToUnitInterval)
+{
+    Matrix data = Matrix::fromRows({{0.0, -10.0}, {5.0, 0.0},
+                                    {10.0, 10.0}});
+    MinMaxNormalizer norm;
+    norm.fit(data);
+    Matrix out = norm.transform(data);
+    EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(out.at(1, 0), 0.5);
+    EXPECT_DOUBLE_EQ(out.at(2, 0), 1.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(out.at(2, 1), 1.0);
+}
+
+TEST(MinMaxNormalizer, InverseRoundTrips)
+{
+    Rng rng(111);
+    Matrix data(30, 4);
+    data.fillNormal(rng, 50.0);
+    MinMaxNormalizer norm;
+    norm.fit(data);
+    Matrix back = norm.inverseTransform(norm.transform(data));
+    for (size_t i = 0; i < data.size(); ++i)
+        EXPECT_NEAR(back.data()[i], data.data()[i], 1e-9);
+}
+
+TEST(MinMaxNormalizer, ConstantColumnMapsToHalf)
+{
+    Matrix data = Matrix::fromRows({{7.0, 1.0}, {7.0, 2.0}});
+    MinMaxNormalizer norm;
+    norm.fit(data);
+    Matrix out = norm.transform(data);
+    EXPECT_DOUBLE_EQ(out.at(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(out.at(1, 0), 0.5);
+}
+
+TEST(MinMaxNormalizer, OutOfRangeValuesClamped)
+{
+    Matrix data = Matrix::fromRows({{0.0}, {10.0}});
+    MinMaxNormalizer norm;
+    norm.fit(data);
+    Matrix probe = Matrix::fromRows({{-5.0}, {15.0}});
+    Matrix out = norm.transform(probe);
+    EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(out.at(1, 0), 1.0);
+}
+
+TEST(MinMaxNormalizer, UpdateWidensRanges)
+{
+    Matrix first = Matrix::fromRows({{0.0}, {10.0}});
+    Matrix second = Matrix::fromRows({{-10.0}, {20.0}});
+    MinMaxNormalizer norm;
+    norm.fit(first);
+    norm.update(second);
+    EXPECT_DOUBLE_EQ(norm.columnMin(0), -10.0);
+    EXPECT_DOUBLE_EQ(norm.columnMax(0), 20.0);
+}
+
+TEST(MinMaxNormalizer, ScalarHelpers)
+{
+    Matrix data = Matrix::fromRows({{0.0}, {4.0}});
+    MinMaxNormalizer norm;
+    norm.fit(data);
+    EXPECT_DOUBLE_EQ(norm.value(1.0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(norm.inverseValue(0.25, 0), 1.0);
+}
+
+TEST(MinMaxNormalizerDeathTest, TransformBeforeFit)
+{
+    MinMaxNormalizer norm;
+    Matrix data(1, 1);
+    EXPECT_DEATH(norm.transform(data), "before fit");
+}
+
+TEST(MinMaxNormalizerDeathTest, ColumnMismatch)
+{
+    MinMaxNormalizer norm;
+    norm.fit(Matrix(2, 3));
+    EXPECT_DEATH(norm.transform(Matrix(2, 4)), "columns");
+}
+
+TEST(MinMaxNormalizerDeathTest, EmptyData)
+{
+    MinMaxNormalizer norm;
+    EXPECT_DEATH(norm.fit(Matrix(0, 3)), "empty");
+}
+
+} // namespace
+} // namespace trace
+} // namespace geo

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the ASCII chart renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/ascii_chart.hh"
+
+namespace geo {
+namespace {
+
+TEST(AsciiChart, EmptySeries)
+{
+    EXPECT_EQ(asciiChart({}), "(no finite data)\n");
+    EXPECT_EQ(asciiChartMulti({}), "(no data)\n");
+}
+
+TEST(AsciiChart, RendersExpectedRowCount)
+{
+    AsciiChartOptions options;
+    options.width = 20;
+    options.height = 5;
+    std::string out = asciiChart({1, 2, 3, 4, 5}, options);
+    // 5 plot rows + 1 axis row.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(AsciiChart, RisingSeriesRisesOnCanvas)
+{
+    AsciiChartOptions options;
+    options.width = 10;
+    options.height = 8;
+    std::string out = asciiChart({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, options);
+    // The first data column's glyph must be lower (later line) than
+    // the last column's.
+    std::vector<std::string> lines;
+    std::istringstream is(out);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    int first_row = -1, last_row = -1;
+    for (int r = 0; r < 8; ++r) {
+        std::string plot = lines[r].substr(11);
+        if (plot.front() == '*')
+            first_row = r;
+        if (plot.back() == '*')
+            last_row = r;
+    }
+    ASSERT_NE(first_row, -1);
+    ASSERT_NE(last_row, -1);
+    EXPECT_GT(first_row, last_row); // row 0 is the top
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotCrash)
+{
+    std::string out = asciiChart({5, 5, 5, 5});
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, YLabelShown)
+{
+    AsciiChartOptions options;
+    options.yLabel = "GB/s";
+    std::string out = asciiChart({1, 2}, options);
+    EXPECT_EQ(out.rfind("GB/s", 0), 0u);
+}
+
+TEST(AsciiChart, MarksOnAxis)
+{
+    AsciiChartOptions options;
+    options.width = 10;
+    options.height = 4;
+    options.marks = {50};
+    std::vector<double> series(100, 1.0);
+    std::string out = asciiChart(series, options);
+    EXPECT_NE(out.find('^'), std::string::npos);
+}
+
+TEST(AsciiChart, MultiSeriesLegendAndGlyphs)
+{
+    std::vector<std::pair<std::string, std::vector<double>>> series = {
+        {"alpha", {1, 2, 3}},
+        {"beta", {3, 2, 1}},
+    };
+    std::string out = asciiChartMulti(series);
+    EXPECT_NE(out.find("* alpha"), std::string::npos);
+    EXPECT_NE(out.find("o beta"), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, LongSeriesResampled)
+{
+    AsciiChartOptions options;
+    options.width = 16;
+    options.height = 4;
+    std::vector<double> series(10000);
+    for (size_t i = 0; i < series.size(); ++i)
+        series[i] = std::sin(static_cast<double>(i) / 500.0);
+    std::string out = asciiChart(series, options);
+    // No line may exceed label + width.
+    std::istringstream is(out);
+    std::string line;
+    while (std::getline(is, line))
+        EXPECT_LE(line.size(), 11u + 16u);
+}
+
+TEST(AsciiChart, NonFiniteValuesSkipped)
+{
+    std::vector<double> series = {1.0, std::nan(""), 2.0, INFINITY, 3.0};
+    EXPECT_NO_FATAL_FAILURE(asciiChart(series));
+}
+
+TEST(AsciiChartDeathTest, DegenerateCanvas)
+{
+    AsciiChartOptions options;
+    options.width = 1;
+    EXPECT_DEATH(asciiChart({1.0}, options), "width");
+}
+
+} // namespace
+} // namespace geo

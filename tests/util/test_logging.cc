@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for the logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace {
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("plain"), "plain");
+    EXPECT_EQ(strprintf("%d + %d = %d", 2, 3, 5), "2 + 3 = 5");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(Logging, StrprintfLongString)
+{
+    std::string big(5000, 'x');
+    std::string out = strprintf("%s", big.c_str());
+    EXPECT_EQ(out.size(), big.size());
+    EXPECT_EQ(out, big);
+}
+
+TEST(Logging, LogLevelRoundTrip)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(old);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+} // namespace
+} // namespace geo

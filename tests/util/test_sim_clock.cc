@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the simulated clock and split timestamps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/sim_clock.hh"
+
+namespace geo {
+namespace {
+
+TEST(SimClock, StartsAtZero)
+{
+    SimClock clock;
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(SimClock, AdvanceAccumulates)
+{
+    SimClock clock;
+    clock.advance(1.5);
+    clock.advance(0.25);
+    EXPECT_DOUBLE_EQ(clock.now(), 1.75);
+}
+
+TEST(SimClock, NegativeAdvanceIgnored)
+{
+    SimClock clock;
+    clock.advance(2.0);
+    clock.advance(-1.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(SimClock, AdvanceToMonotonic)
+{
+    SimClock clock;
+    clock.advanceTo(5.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+    clock.advanceTo(3.0); // backwards jump ignored
+    EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+}
+
+TEST(SimClock, Reset)
+{
+    SimClock clock;
+    clock.advance(9.0);
+    clock.reset();
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(SplitTime, SplitsSecondsAndMillis)
+{
+    SplitTime st = splitSeconds(12.345);
+    EXPECT_EQ(st.seconds, 12);
+    EXPECT_EQ(st.millis, 345);
+}
+
+TEST(SplitTime, WholeSeconds)
+{
+    SplitTime st = splitSeconds(7.0);
+    EXPECT_EQ(st.seconds, 7);
+    EXPECT_EQ(st.millis, 0);
+}
+
+TEST(SplitTime, RoundingOverflowCarries)
+{
+    // 1.9996 rounds to 2000 ms, which must carry into the seconds.
+    SplitTime st = splitSeconds(1.9996);
+    EXPECT_EQ(st.seconds, 2);
+    EXPECT_EQ(st.millis, 0);
+}
+
+TEST(SplitTime, RoundTripsWithinHalfMilli)
+{
+    for (double t : {0.0, 0.001, 1.2345, 99.9994, 12345.678}) {
+        SplitTime st = splitSeconds(t);
+        EXPECT_NEAR(st.toSeconds(), t, 0.0005) << "t = " << t;
+    }
+}
+
+} // namespace
+} // namespace geo

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace geo {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable table("My title");
+    table.setHeader({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"beta", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("My title"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable table;
+    table.setHeader({"a", "b"});
+    table.addRow({"looooong", "x"});
+    table.addRow({"s", "y"});
+    std::string out = table.render();
+    // Both data rows start their second column at the same offset.
+    size_t line1 = out.find("looooong");
+    size_t x_pos = out.find('x', line1) - out.rfind('\n', line1);
+    size_t line2 = out.find("s", out.find('x'));
+    size_t y_pos = out.find('y', line2) - out.rfind('\n', line2);
+    EXPECT_EQ(x_pos, y_pos);
+}
+
+TEST(TextTable, MeanStdFormat)
+{
+    EXPECT_EQ(TextTable::meanStd(18.88, 16.92), "18.88 +/- 16.92");
+    EXPECT_EQ(TextTable::meanStd(1.0, 0.5, 1), "1.0 +/- 0.5");
+}
+
+TEST(TextTable, NumFormat)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(5.0, 0), "5");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable table;
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"x"});
+    table.addRow({"y"});
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, EmptyTableRendersNothing)
+{
+    TextTable table;
+    EXPECT_EQ(table.render(), "");
+}
+
+TEST(TextTable, RaggedRowsTolerated)
+{
+    TextTable table;
+    table.setHeader({"a", "b", "c"});
+    table.addRow({"1"});
+    table.addRow({"1", "2", "3", "4"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("4"), std::string::npos);
+}
+
+} // namespace
+} // namespace geo

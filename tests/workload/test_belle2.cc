@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the BELLE II workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/bluesky.hh"
+#include "workload/belle2.hh"
+
+namespace geo {
+namespace workload {
+namespace {
+
+TEST(Belle2Workload, CreatesPaperFileSuite)
+{
+    auto system = storage::makeBlueskySystem();
+    Belle2Workload workload(*system);
+    EXPECT_EQ(workload.files().size(), 24u);
+    for (storage::FileId file : workload.files()) {
+        uint64_t size = system->file(file).sizeBytes;
+        EXPECT_GE(size, 583ULL * 1024);
+        EXPECT_LE(size, 1181116006ULL);
+    }
+}
+
+TEST(Belle2Workload, RoundRobinInitialSpread)
+{
+    auto system = storage::makeBlueskySystem();
+    Belle2Workload workload(*system);
+    std::vector<size_t> counts = system->filesPerDevice();
+    for (size_t count : counts)
+        EXPECT_EQ(count, 4u); // 24 files over 6 devices
+}
+
+TEST(Belle2Workload, ExplicitInitialLayout)
+{
+    auto system = storage::makeBlueskySystem();
+    Belle2Config config;
+    Belle2Workload workload(*system, config, {2});
+    for (storage::FileId file : workload.files())
+        EXPECT_EQ(system->location(file), 2u);
+}
+
+TEST(Belle2Workload, RunVisitsFilesSequentiallyWithRepeats)
+{
+    auto system = storage::makeBlueskySystem();
+    Belle2Workload workload(*system);
+    std::vector<AccessEvent> events = workload.nextRun();
+
+    // Events must form 24 consecutive constant-file blocks of 10-20.
+    size_t block_start = 0;
+    size_t blocks = 0;
+    for (size_t i = 1; i <= events.size(); ++i) {
+        if (i == events.size() || events[i].file != events[i - 1].file) {
+            size_t repeats = i - block_start;
+            EXPECT_GE(repeats, 10u);
+            EXPECT_LE(repeats, 20u);
+            ++blocks;
+            block_start = i;
+        }
+    }
+    EXPECT_EQ(blocks, 24u);
+}
+
+TEST(Belle2Workload, ReadHeavyMix)
+{
+    auto system = storage::makeBlueskySystem();
+    Belle2Config config;
+    config.readFraction = 0.92;
+    Belle2Workload workload(*system, config);
+    size_t reads = 0, total = 0;
+    for (int run = 0; run < 20; ++run) {
+        for (const AccessEvent &ev : workload.nextRun()) {
+            ++total;
+            reads += ev.isRead ? 1 : 0;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / static_cast<double>(total),
+                0.92, 0.02);
+}
+
+TEST(Belle2Workload, BytesWithinSpan)
+{
+    auto system = storage::makeBlueskySystem();
+    Belle2Workload workload(*system);
+    const Belle2Config &config = workload.config();
+    for (const AccessEvent &ev : workload.nextRun()) {
+        uint64_t size = system->file(ev.file).sizeBytes;
+        EXPECT_GE(ev.bytes, static_cast<uint64_t>(
+                                config.minSpan * 0.99 *
+                                static_cast<double>(size)));
+        EXPECT_LE(ev.bytes, static_cast<uint64_t>(
+                                config.maxSpan * 1.01 *
+                                static_cast<double>(size)));
+    }
+}
+
+TEST(Belle2Workload, ExecuteRunProducesObservations)
+{
+    auto system = storage::makeBlueskySystem();
+    Belle2Workload workload(*system);
+    auto observations = workload.executeRun();
+    EXPECT_GE(observations.size(), 240u);
+    EXPECT_LE(observations.size(), 480u);
+    EXPECT_EQ(workload.runsCompleted(), 1u);
+    for (const storage::AccessObservation &obs : observations)
+        EXPECT_GT(obs.throughput, 0.0);
+}
+
+TEST(Belle2Workload, DeterministicWithSeed)
+{
+    auto s1 = storage::makeBlueskySystem();
+    auto s2 = storage::makeBlueskySystem();
+    Belle2Config config;
+    config.seed = 5;
+    Belle2Workload w1(*s1, config);
+    Belle2Workload w2(*s2, config);
+    std::vector<AccessEvent> e1 = w1.nextRun();
+    std::vector<AccessEvent> e2 = w2.nextRun();
+    ASSERT_EQ(e1.size(), e2.size());
+    for (size_t i = 0; i < e1.size(); ++i) {
+        EXPECT_EQ(e1[i].file, e2[i].file);
+        EXPECT_EQ(e1[i].bytes, e2[i].bytes);
+        EXPECT_EQ(e1[i].isRead, e2[i].isRead);
+    }
+}
+
+TEST(Belle2WorkloadDeathTest, BadConfig)
+{
+    auto system = storage::makeBlueskySystem();
+    Belle2Config config;
+    config.fileCount = 0;
+    EXPECT_DEATH(Belle2Workload(*system, config), "fileCount");
+    Belle2Config bad_repeats;
+    bad_repeats.minRepeats = 30;
+    bad_repeats.maxRepeats = 10;
+    EXPECT_DEATH(Belle2Workload(*system, bad_repeats), "repeat");
+}
+
+} // namespace
+} // namespace workload
+} // namespace geo

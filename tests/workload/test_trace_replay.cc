@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the trace-replay workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/bluesky.hh"
+#include "trace/eos_trace_gen.hh"
+#include "workload/trace_replay.hh"
+
+namespace geo {
+namespace workload {
+namespace {
+
+std::vector<trace::AccessRecord>
+sampleTrace(size_t n = 300)
+{
+    trace::EosTraceConfig config;
+    config.fileCount = 40;
+    trace::EosTraceGenerator gen(config);
+    return gen.generate(n);
+}
+
+TEST(TraceReplay, CreatesFilesOnFirstAppearance)
+{
+    auto system = storage::makeBlueskySystem();
+    std::vector<trace::AccessRecord> records = sampleTrace();
+    TraceReplayWorkload replay(*system, records);
+    std::set<uint64_t> distinct;
+    for (const auto &rec : records)
+        distinct.insert(rec.fid);
+    EXPECT_EQ(replay.files().size(), distinct.size());
+    EXPECT_EQ(system->fileCount(), distinct.size());
+}
+
+TEST(TraceReplay, ReplaysAllRecords)
+{
+    auto system = storage::makeBlueskySystem();
+    std::vector<trace::AccessRecord> records = sampleTrace(200);
+    TraceReplayWorkload replay(*system, records);
+    EXPECT_EQ(replay.remaining(), 200u);
+    auto observations = replay.replayAll();
+    EXPECT_EQ(observations.size(), 200u);
+    EXPECT_TRUE(replay.done());
+}
+
+TEST(TraceReplay, IncrementalReplay)
+{
+    auto system = storage::makeBlueskySystem();
+    TraceReplayWorkload replay(*system, sampleTrace(100));
+    EXPECT_EQ(replay.replay(30).size(), 30u);
+    EXPECT_EQ(replay.remaining(), 70u);
+    EXPECT_EQ(replay.replay(1000).size(), 70u);
+    EXPECT_TRUE(replay.done());
+    EXPECT_TRUE(replay.replay(10).empty());
+}
+
+TEST(TraceReplay, PreservesRecordedTiming)
+{
+    auto system = storage::makeBlueskySystem();
+    std::vector<trace::AccessRecord> records = sampleTrace(100);
+    double recorded_span = records.back().openTime() -
+                           records.front().openTime();
+    TraceReplayWorkload replay(*system, records);
+    replay.replayAll();
+    EXPECT_GE(system->clock().now(), recorded_span);
+}
+
+TEST(TraceReplay, BackToBackModeIgnoresGaps)
+{
+    auto s1 = storage::makeBlueskySystem();
+    auto s2 = storage::makeBlueskySystem();
+    std::vector<trace::AccessRecord> records = sampleTrace(100);
+    TraceReplayConfig timed;
+    TraceReplayConfig packed;
+    packed.preserveTiming = false;
+    TraceReplayWorkload timed_replay(*s1, records, timed);
+    TraceReplayWorkload packed_replay(*s2, records, packed);
+    timed_replay.replayAll();
+    packed_replay.replayAll();
+    EXPECT_LT(s2->clock().now(), s1->clock().now());
+}
+
+TEST(TraceReplay, MaxFilesCapSkipsExtras)
+{
+    auto system = storage::makeBlueskySystem();
+    TraceReplayConfig config;
+    config.maxFiles = 5;
+    std::vector<trace::AccessRecord> records = sampleTrace(300);
+    TraceReplayWorkload replay(*system, records, config);
+    EXPECT_EQ(replay.files().size(), 5u);
+    auto observations = replay.replayAll();
+    EXPECT_LT(observations.size(), records.size());
+    for (const auto &obs : observations)
+        EXPECT_LT(obs.file, 5u);
+}
+
+TEST(TraceReplay, ReadWriteDirectionFollowsTrace)
+{
+    auto system = storage::makeBlueskySystem();
+    std::vector<trace::AccessRecord> records = sampleTrace(300);
+    TraceReplayWorkload replay(*system, records);
+    auto observations = replay.replayAll();
+    size_t reads = 0, writes = 0;
+    for (const auto &obs : observations) {
+        reads += obs.readBytes > 0 ? 1 : 0;
+        writes += obs.writtenBytes > 0 ? 1 : 0;
+    }
+    EXPECT_GT(reads, writes); // the EOS trace is read-heavy
+    EXPECT_GT(writes, 0u);
+}
+
+TEST(TraceReplayDeathTest, EmptyTrace)
+{
+    auto system = storage::makeBlueskySystem();
+    std::vector<trace::AccessRecord> empty;
+    EXPECT_DEATH(TraceReplayWorkload(*system, empty), "empty");
+}
+
+} // namespace
+} // namespace workload
+} // namespace geo
