@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_model_search.dir/eos_model_search.cc.o"
+  "CMakeFiles/eos_model_search.dir/eos_model_search.cc.o.d"
+  "eos_model_search"
+  "eos_model_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_model_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

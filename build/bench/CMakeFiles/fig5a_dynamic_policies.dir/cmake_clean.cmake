@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_dynamic_policies.dir/fig5a_dynamic_policies.cc.o"
+  "CMakeFiles/fig5a_dynamic_policies.dir/fig5a_dynamic_policies.cc.o.d"
+  "fig5a_dynamic_policies"
+  "fig5a_dynamic_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_dynamic_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

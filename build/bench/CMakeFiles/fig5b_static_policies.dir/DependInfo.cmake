@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5b_static_policies.cc" "bench/CMakeFiles/fig5b_static_policies.dir/fig5b_static_policies.cc.o" "gcc" "bench/CMakeFiles/fig5b_static_policies.dir/fig5b_static_policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/geo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/geo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/geo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/geo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_static_policies.dir/fig5b_static_policies.cc.o"
+  "CMakeFiles/fig5b_static_policies.dir/fig5b_static_policies.cc.o.d"
+  "fig5b_static_policies"
+  "fig5b_static_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_static_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

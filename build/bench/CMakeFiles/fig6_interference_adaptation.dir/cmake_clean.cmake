@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_interference_adaptation.dir/fig6_interference_adaptation.cc.o"
+  "CMakeFiles/fig6_interference_adaptation.dir/fig6_interference_adaptation.cc.o.d"
+  "fig6_interference_adaptation"
+  "fig6_interference_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_interference_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

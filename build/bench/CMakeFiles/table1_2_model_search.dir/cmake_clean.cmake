@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_2_model_search.dir/table1_2_model_search.cc.o"
+  "CMakeFiles/table1_2_model_search.dir/table1_2_model_search.cc.o.d"
+  "table1_2_model_search"
+  "table1_2_model_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_2_model_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_per_mount_error.dir/table3_per_mount_error.cc.o"
+  "CMakeFiles/table3_per_mount_error.dir/table3_per_mount_error.cc.o.d"
+  "table3_per_mount_error"
+  "table3_per_mount_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_per_mount_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

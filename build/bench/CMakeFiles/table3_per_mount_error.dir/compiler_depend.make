@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_per_mount_error.
+# This may be replaced when dependencies are built.

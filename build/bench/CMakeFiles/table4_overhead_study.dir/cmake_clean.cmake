@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_overhead_study.dir/table4_overhead_study.cc.o"
+  "CMakeFiles/table4_overhead_study.dir/table4_overhead_study.cc.o.d"
+  "table4_overhead_study"
+  "table4_overhead_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_overhead_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

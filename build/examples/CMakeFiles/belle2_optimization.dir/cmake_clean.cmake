@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/belle2_optimization.dir/belle2_optimization.cpp.o"
+  "CMakeFiles/belle2_optimization.dir/belle2_optimization.cpp.o.d"
+  "belle2_optimization"
+  "belle2_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/belle2_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

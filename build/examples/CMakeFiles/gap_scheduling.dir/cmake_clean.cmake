@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_scheduling.dir/gap_scheduling.cpp.o"
+  "CMakeFiles/gap_scheduling.dir/gap_scheduling.cpp.o.d"
+  "gap_scheduling"
+  "gap_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

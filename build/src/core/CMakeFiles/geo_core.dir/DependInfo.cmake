@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action_checker.cc" "src/core/CMakeFiles/geo_core.dir/action_checker.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/action_checker.cc.o.d"
+  "/root/repo/src/core/control_agent.cc" "src/core/CMakeFiles/geo_core.dir/control_agent.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/control_agent.cc.o.d"
+  "/root/repo/src/core/drl_engine.cc" "src/core/CMakeFiles/geo_core.dir/drl_engine.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/drl_engine.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/geo_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/gap_predictor.cc" "src/core/CMakeFiles/geo_core.dir/gap_predictor.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/gap_predictor.cc.o.d"
+  "/root/repo/src/core/geomancy.cc" "src/core/CMakeFiles/geo_core.dir/geomancy.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/geomancy.cc.o.d"
+  "/root/repo/src/core/interface_daemon.cc" "src/core/CMakeFiles/geo_core.dir/interface_daemon.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/interface_daemon.cc.o.d"
+  "/root/repo/src/core/layout_config.cc" "src/core/CMakeFiles/geo_core.dir/layout_config.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/layout_config.cc.o.d"
+  "/root/repo/src/core/monitoring_agent.cc" "src/core/CMakeFiles/geo_core.dir/monitoring_agent.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/monitoring_agent.cc.o.d"
+  "/root/repo/src/core/movement_scheduler.cc" "src/core/CMakeFiles/geo_core.dir/movement_scheduler.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/movement_scheduler.cc.o.d"
+  "/root/repo/src/core/perf_record.cc" "src/core/CMakeFiles/geo_core.dir/perf_record.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/perf_record.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/geo_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/replay_db.cc" "src/core/CMakeFiles/geo_core.dir/replay_db.cc.o" "gcc" "src/core/CMakeFiles/geo_core.dir/replay_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/geo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/geo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/geo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/geo_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

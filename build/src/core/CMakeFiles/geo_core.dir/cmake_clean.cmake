@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_core.dir/action_checker.cc.o"
+  "CMakeFiles/geo_core.dir/action_checker.cc.o.d"
+  "CMakeFiles/geo_core.dir/control_agent.cc.o"
+  "CMakeFiles/geo_core.dir/control_agent.cc.o.d"
+  "CMakeFiles/geo_core.dir/drl_engine.cc.o"
+  "CMakeFiles/geo_core.dir/drl_engine.cc.o.d"
+  "CMakeFiles/geo_core.dir/experiment.cc.o"
+  "CMakeFiles/geo_core.dir/experiment.cc.o.d"
+  "CMakeFiles/geo_core.dir/gap_predictor.cc.o"
+  "CMakeFiles/geo_core.dir/gap_predictor.cc.o.d"
+  "CMakeFiles/geo_core.dir/geomancy.cc.o"
+  "CMakeFiles/geo_core.dir/geomancy.cc.o.d"
+  "CMakeFiles/geo_core.dir/interface_daemon.cc.o"
+  "CMakeFiles/geo_core.dir/interface_daemon.cc.o.d"
+  "CMakeFiles/geo_core.dir/layout_config.cc.o"
+  "CMakeFiles/geo_core.dir/layout_config.cc.o.d"
+  "CMakeFiles/geo_core.dir/monitoring_agent.cc.o"
+  "CMakeFiles/geo_core.dir/monitoring_agent.cc.o.d"
+  "CMakeFiles/geo_core.dir/movement_scheduler.cc.o"
+  "CMakeFiles/geo_core.dir/movement_scheduler.cc.o.d"
+  "CMakeFiles/geo_core.dir/perf_record.cc.o"
+  "CMakeFiles/geo_core.dir/perf_record.cc.o.d"
+  "CMakeFiles/geo_core.dir/policies.cc.o"
+  "CMakeFiles/geo_core.dir/policies.cc.o.d"
+  "CMakeFiles/geo_core.dir/replay_db.cc.o"
+  "CMakeFiles/geo_core.dir/replay_db.cc.o.d"
+  "libgeo_core.a"
+  "libgeo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

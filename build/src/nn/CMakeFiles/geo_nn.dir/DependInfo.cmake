@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/geo_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/dataset.cc" "src/nn/CMakeFiles/geo_nn.dir/dataset.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/dataset.cc.o.d"
+  "/root/repo/src/nn/dense_layer.cc" "src/nn/CMakeFiles/geo_nn.dir/dense_layer.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/dense_layer.cc.o.d"
+  "/root/repo/src/nn/gru_layer.cc" "src/nn/CMakeFiles/geo_nn.dir/gru_layer.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/gru_layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/geo_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lstm_layer.cc" "src/nn/CMakeFiles/geo_nn.dir/lstm_layer.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/lstm_layer.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/geo_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/nn/CMakeFiles/geo_nn.dir/model_zoo.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/geo_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/geo_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/sequential.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/geo_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/simple_rnn_layer.cc" "src/nn/CMakeFiles/geo_nn.dir/simple_rnn_layer.cc.o" "gcc" "src/nn/CMakeFiles/geo_nn.dir/simple_rnn_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/geo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

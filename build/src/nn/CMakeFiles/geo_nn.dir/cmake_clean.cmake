@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_nn.dir/activation.cc.o"
+  "CMakeFiles/geo_nn.dir/activation.cc.o.d"
+  "CMakeFiles/geo_nn.dir/dataset.cc.o"
+  "CMakeFiles/geo_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/geo_nn.dir/dense_layer.cc.o"
+  "CMakeFiles/geo_nn.dir/dense_layer.cc.o.d"
+  "CMakeFiles/geo_nn.dir/gru_layer.cc.o"
+  "CMakeFiles/geo_nn.dir/gru_layer.cc.o.d"
+  "CMakeFiles/geo_nn.dir/loss.cc.o"
+  "CMakeFiles/geo_nn.dir/loss.cc.o.d"
+  "CMakeFiles/geo_nn.dir/lstm_layer.cc.o"
+  "CMakeFiles/geo_nn.dir/lstm_layer.cc.o.d"
+  "CMakeFiles/geo_nn.dir/matrix.cc.o"
+  "CMakeFiles/geo_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/geo_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/geo_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/geo_nn.dir/optimizer.cc.o"
+  "CMakeFiles/geo_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/geo_nn.dir/sequential.cc.o"
+  "CMakeFiles/geo_nn.dir/sequential.cc.o.d"
+  "CMakeFiles/geo_nn.dir/serialize.cc.o"
+  "CMakeFiles/geo_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/geo_nn.dir/simple_rnn_layer.cc.o"
+  "CMakeFiles/geo_nn.dir/simple_rnn_layer.cc.o.d"
+  "libgeo_nn.a"
+  "libgeo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bluesky.cc" "src/storage/CMakeFiles/geo_storage.dir/bluesky.cc.o" "gcc" "src/storage/CMakeFiles/geo_storage.dir/bluesky.cc.o.d"
+  "/root/repo/src/storage/device.cc" "src/storage/CMakeFiles/geo_storage.dir/device.cc.o" "gcc" "src/storage/CMakeFiles/geo_storage.dir/device.cc.o.d"
+  "/root/repo/src/storage/external_traffic.cc" "src/storage/CMakeFiles/geo_storage.dir/external_traffic.cc.o" "gcc" "src/storage/CMakeFiles/geo_storage.dir/external_traffic.cc.o.d"
+  "/root/repo/src/storage/system.cc" "src/storage/CMakeFiles/geo_storage.dir/system.cc.o" "gcc" "src/storage/CMakeFiles/geo_storage.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/geo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/geo_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_storage.dir/bluesky.cc.o"
+  "CMakeFiles/geo_storage.dir/bluesky.cc.o.d"
+  "CMakeFiles/geo_storage.dir/device.cc.o"
+  "CMakeFiles/geo_storage.dir/device.cc.o.d"
+  "CMakeFiles/geo_storage.dir/external_traffic.cc.o"
+  "CMakeFiles/geo_storage.dir/external_traffic.cc.o.d"
+  "CMakeFiles/geo_storage.dir/system.cc.o"
+  "CMakeFiles/geo_storage.dir/system.cc.o.d"
+  "libgeo_storage.a"
+  "libgeo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

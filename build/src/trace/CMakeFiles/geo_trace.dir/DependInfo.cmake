@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/access_record.cc" "src/trace/CMakeFiles/geo_trace.dir/access_record.cc.o" "gcc" "src/trace/CMakeFiles/geo_trace.dir/access_record.cc.o.d"
+  "/root/repo/src/trace/eos_trace_gen.cc" "src/trace/CMakeFiles/geo_trace.dir/eos_trace_gen.cc.o" "gcc" "src/trace/CMakeFiles/geo_trace.dir/eos_trace_gen.cc.o.d"
+  "/root/repo/src/trace/feature_matrix.cc" "src/trace/CMakeFiles/geo_trace.dir/feature_matrix.cc.o" "gcc" "src/trace/CMakeFiles/geo_trace.dir/feature_matrix.cc.o.d"
+  "/root/repo/src/trace/feature_select.cc" "src/trace/CMakeFiles/geo_trace.dir/feature_select.cc.o" "gcc" "src/trace/CMakeFiles/geo_trace.dir/feature_select.cc.o.d"
+  "/root/repo/src/trace/normalizer.cc" "src/trace/CMakeFiles/geo_trace.dir/normalizer.cc.o" "gcc" "src/trace/CMakeFiles/geo_trace.dir/normalizer.cc.o.d"
+  "/root/repo/src/trace/path_encoder.cc" "src/trace/CMakeFiles/geo_trace.dir/path_encoder.cc.o" "gcc" "src/trace/CMakeFiles/geo_trace.dir/path_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/geo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/geo_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

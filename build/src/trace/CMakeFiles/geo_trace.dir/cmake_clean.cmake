@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_trace.dir/access_record.cc.o"
+  "CMakeFiles/geo_trace.dir/access_record.cc.o.d"
+  "CMakeFiles/geo_trace.dir/eos_trace_gen.cc.o"
+  "CMakeFiles/geo_trace.dir/eos_trace_gen.cc.o.d"
+  "CMakeFiles/geo_trace.dir/feature_matrix.cc.o"
+  "CMakeFiles/geo_trace.dir/feature_matrix.cc.o.d"
+  "CMakeFiles/geo_trace.dir/feature_select.cc.o"
+  "CMakeFiles/geo_trace.dir/feature_select.cc.o.d"
+  "CMakeFiles/geo_trace.dir/normalizer.cc.o"
+  "CMakeFiles/geo_trace.dir/normalizer.cc.o.d"
+  "CMakeFiles/geo_trace.dir/path_encoder.cc.o"
+  "CMakeFiles/geo_trace.dir/path_encoder.cc.o.d"
+  "libgeo_trace.a"
+  "libgeo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

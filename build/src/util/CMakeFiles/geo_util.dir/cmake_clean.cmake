@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/geo_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/geo_util.dir/csv.cc.o"
+  "CMakeFiles/geo_util.dir/csv.cc.o.d"
+  "CMakeFiles/geo_util.dir/logging.cc.o"
+  "CMakeFiles/geo_util.dir/logging.cc.o.d"
+  "CMakeFiles/geo_util.dir/random.cc.o"
+  "CMakeFiles/geo_util.dir/random.cc.o.d"
+  "CMakeFiles/geo_util.dir/smoothing.cc.o"
+  "CMakeFiles/geo_util.dir/smoothing.cc.o.d"
+  "CMakeFiles/geo_util.dir/stats.cc.o"
+  "CMakeFiles/geo_util.dir/stats.cc.o.d"
+  "CMakeFiles/geo_util.dir/table.cc.o"
+  "CMakeFiles/geo_util.dir/table.cc.o.d"
+  "libgeo_util.a"
+  "libgeo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_workload.dir/belle2.cc.o"
+  "CMakeFiles/geo_workload.dir/belle2.cc.o.d"
+  "CMakeFiles/geo_workload.dir/interference.cc.o"
+  "CMakeFiles/geo_workload.dir/interference.cc.o.d"
+  "CMakeFiles/geo_workload.dir/trace_replay.cc.o"
+  "CMakeFiles/geo_workload.dir/trace_replay.cc.o.d"
+  "libgeo_workload.a"
+  "libgeo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_action_checker.cc" "tests/CMakeFiles/geo_tests.dir/core/test_action_checker.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_action_checker.cc.o.d"
+  "/root/repo/tests/core/test_capacity_weighted.cc" "tests/CMakeFiles/geo_tests.dir/core/test_capacity_weighted.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_capacity_weighted.cc.o.d"
+  "/root/repo/tests/core/test_control_agent.cc" "tests/CMakeFiles/geo_tests.dir/core/test_control_agent.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_control_agent.cc.o.d"
+  "/root/repo/tests/core/test_determinism.cc" "tests/CMakeFiles/geo_tests.dir/core/test_determinism.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_determinism.cc.o.d"
+  "/root/repo/tests/core/test_drl_engine.cc" "tests/CMakeFiles/geo_tests.dir/core/test_drl_engine.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_drl_engine.cc.o.d"
+  "/root/repo/tests/core/test_engine_edge_cases.cc" "tests/CMakeFiles/geo_tests.dir/core/test_engine_edge_cases.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_engine_edge_cases.cc.o.d"
+  "/root/repo/tests/core/test_experiment.cc" "tests/CMakeFiles/geo_tests.dir/core/test_experiment.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_experiment.cc.o.d"
+  "/root/repo/tests/core/test_failure_injection.cc" "tests/CMakeFiles/geo_tests.dir/core/test_failure_injection.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_failure_injection.cc.o.d"
+  "/root/repo/tests/core/test_gap_predictor.cc" "tests/CMakeFiles/geo_tests.dir/core/test_gap_predictor.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_gap_predictor.cc.o.d"
+  "/root/repo/tests/core/test_geomancy.cc" "tests/CMakeFiles/geo_tests.dir/core/test_geomancy.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_geomancy.cc.o.d"
+  "/root/repo/tests/core/test_geomancy_policies.cc" "tests/CMakeFiles/geo_tests.dir/core/test_geomancy_policies.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_geomancy_policies.cc.o.d"
+  "/root/repo/tests/core/test_interface_daemon.cc" "tests/CMakeFiles/geo_tests.dir/core/test_interface_daemon.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_interface_daemon.cc.o.d"
+  "/root/repo/tests/core/test_latency_target.cc" "tests/CMakeFiles/geo_tests.dir/core/test_latency_target.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_latency_target.cc.o.d"
+  "/root/repo/tests/core/test_layout_config.cc" "tests/CMakeFiles/geo_tests.dir/core/test_layout_config.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_layout_config.cc.o.d"
+  "/root/repo/tests/core/test_monitoring_agent.cc" "tests/CMakeFiles/geo_tests.dir/core/test_monitoring_agent.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_monitoring_agent.cc.o.d"
+  "/root/repo/tests/core/test_movement_scheduler.cc" "tests/CMakeFiles/geo_tests.dir/core/test_movement_scheduler.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_movement_scheduler.cc.o.d"
+  "/root/repo/tests/core/test_multi_workload.cc" "tests/CMakeFiles/geo_tests.dir/core/test_multi_workload.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_multi_workload.cc.o.d"
+  "/root/repo/tests/core/test_perf_record.cc" "tests/CMakeFiles/geo_tests.dir/core/test_perf_record.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_perf_record.cc.o.d"
+  "/root/repo/tests/core/test_policies.cc" "tests/CMakeFiles/geo_tests.dir/core/test_policies.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_policies.cc.o.d"
+  "/root/repo/tests/core/test_replay_db.cc" "tests/CMakeFiles/geo_tests.dir/core/test_replay_db.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_replay_db.cc.o.d"
+  "/root/repo/tests/core/test_replay_db_csv.cc" "tests/CMakeFiles/geo_tests.dir/core/test_replay_db_csv.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/core/test_replay_db_csv.cc.o.d"
+  "/root/repo/tests/nn/test_activation.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_activation.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_activation.cc.o.d"
+  "/root/repo/tests/nn/test_dataset.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_dataset.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_dataset.cc.o.d"
+  "/root/repo/tests/nn/test_dense_layer.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_dense_layer.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_dense_layer.cc.o.d"
+  "/root/repo/tests/nn/test_gradcheck.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_gradcheck.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_gradcheck.cc.o.d"
+  "/root/repo/tests/nn/test_loss.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_loss.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_loss.cc.o.d"
+  "/root/repo/tests/nn/test_matrix.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_matrix.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_matrix.cc.o.d"
+  "/root/repo/tests/nn/test_model_zoo.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_model_zoo.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_model_zoo.cc.o.d"
+  "/root/repo/tests/nn/test_numerical_stability.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_numerical_stability.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_numerical_stability.cc.o.d"
+  "/root/repo/tests/nn/test_optimizer.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_optimizer.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_optimizer.cc.o.d"
+  "/root/repo/tests/nn/test_recurrent_layers.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_recurrent_layers.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_recurrent_layers.cc.o.d"
+  "/root/repo/tests/nn/test_sequential.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_sequential.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_sequential.cc.o.d"
+  "/root/repo/tests/nn/test_serialize.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_serialize.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_serialize.cc.o.d"
+  "/root/repo/tests/nn/test_training_properties.cc" "tests/CMakeFiles/geo_tests.dir/nn/test_training_properties.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/nn/test_training_properties.cc.o.d"
+  "/root/repo/tests/storage/test_bluesky.cc" "tests/CMakeFiles/geo_tests.dir/storage/test_bluesky.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/storage/test_bluesky.cc.o.d"
+  "/root/repo/tests/storage/test_chunked_migration.cc" "tests/CMakeFiles/geo_tests.dir/storage/test_chunked_migration.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/storage/test_chunked_migration.cc.o.d"
+  "/root/repo/tests/storage/test_contention_properties.cc" "tests/CMakeFiles/geo_tests.dir/storage/test_contention_properties.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/storage/test_contention_properties.cc.o.d"
+  "/root/repo/tests/storage/test_device.cc" "tests/CMakeFiles/geo_tests.dir/storage/test_device.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/storage/test_device.cc.o.d"
+  "/root/repo/tests/storage/test_external_traffic.cc" "tests/CMakeFiles/geo_tests.dir/storage/test_external_traffic.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/storage/test_external_traffic.cc.o.d"
+  "/root/repo/tests/storage/test_system.cc" "tests/CMakeFiles/geo_tests.dir/storage/test_system.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/storage/test_system.cc.o.d"
+  "/root/repo/tests/trace/test_access_record.cc" "tests/CMakeFiles/geo_tests.dir/trace/test_access_record.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/trace/test_access_record.cc.o.d"
+  "/root/repo/tests/trace/test_cern_config.cc" "tests/CMakeFiles/geo_tests.dir/trace/test_cern_config.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/trace/test_cern_config.cc.o.d"
+  "/root/repo/tests/trace/test_eos_trace.cc" "tests/CMakeFiles/geo_tests.dir/trace/test_eos_trace.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/trace/test_eos_trace.cc.o.d"
+  "/root/repo/tests/trace/test_feature_matrix.cc" "tests/CMakeFiles/geo_tests.dir/trace/test_feature_matrix.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/trace/test_feature_matrix.cc.o.d"
+  "/root/repo/tests/trace/test_feature_select.cc" "tests/CMakeFiles/geo_tests.dir/trace/test_feature_select.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/trace/test_feature_select.cc.o.d"
+  "/root/repo/tests/trace/test_normalizer.cc" "tests/CMakeFiles/geo_tests.dir/trace/test_normalizer.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/trace/test_normalizer.cc.o.d"
+  "/root/repo/tests/trace/test_path_encoder.cc" "tests/CMakeFiles/geo_tests.dir/trace/test_path_encoder.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/trace/test_path_encoder.cc.o.d"
+  "/root/repo/tests/util/test_ascii_chart.cc" "tests/CMakeFiles/geo_tests.dir/util/test_ascii_chart.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/util/test_ascii_chart.cc.o.d"
+  "/root/repo/tests/util/test_csv.cc" "tests/CMakeFiles/geo_tests.dir/util/test_csv.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/util/test_csv.cc.o.d"
+  "/root/repo/tests/util/test_logging.cc" "tests/CMakeFiles/geo_tests.dir/util/test_logging.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/util/test_logging.cc.o.d"
+  "/root/repo/tests/util/test_random.cc" "tests/CMakeFiles/geo_tests.dir/util/test_random.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/util/test_random.cc.o.d"
+  "/root/repo/tests/util/test_sim_clock.cc" "tests/CMakeFiles/geo_tests.dir/util/test_sim_clock.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/util/test_sim_clock.cc.o.d"
+  "/root/repo/tests/util/test_smoothing.cc" "tests/CMakeFiles/geo_tests.dir/util/test_smoothing.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/util/test_smoothing.cc.o.d"
+  "/root/repo/tests/util/test_stats.cc" "tests/CMakeFiles/geo_tests.dir/util/test_stats.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/util/test_stats.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/geo_tests.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/util/test_table.cc.o.d"
+  "/root/repo/tests/workload/test_belle2.cc" "tests/CMakeFiles/geo_tests.dir/workload/test_belle2.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/workload/test_belle2.cc.o.d"
+  "/root/repo/tests/workload/test_interference.cc" "tests/CMakeFiles/geo_tests.dir/workload/test_interference.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/workload/test_interference.cc.o.d"
+  "/root/repo/tests/workload/test_trace_replay.cc" "tests/CMakeFiles/geo_tests.dir/workload/test_trace_replay.cc.o" "gcc" "tests/CMakeFiles/geo_tests.dir/workload/test_trace_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/geo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/geo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/geo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/geo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

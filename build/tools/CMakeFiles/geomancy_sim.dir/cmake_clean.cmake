@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomancy_sim.dir/geomancy_sim.cc.o"
+  "CMakeFiles/geomancy_sim.dir/geomancy_sim.cc.o.d"
+  "geomancy_sim"
+  "geomancy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomancy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

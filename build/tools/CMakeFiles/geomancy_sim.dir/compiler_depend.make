@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for geomancy_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_geomancy "/root/repo/build/tools/geomancy_sim" "--policy" "geomancy" "--runs" "3" "--warmup" "1" "--epochs" "4" "--quiet")
+set_tests_properties(cli_smoke_geomancy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_lfu "/root/repo/build/tools/geomancy_sim" "--policy" "lfu" "--runs" "2" "--warmup" "1" "--quiet")
+set_tests_properties(cli_smoke_lfu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_mount "/root/repo/build/tools/geomancy_sim" "--policy" "mount:file0" "--runs" "2" "--warmup" "1" "--quiet")
+set_tests_properties(cli_smoke_mount PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_roundtrip "sh" "-c" "./trace_tool generate --records 500 --out tt.csv &&           ./trace_tool analyze --in tt.csv &&           ./trace_tool replay --in tt.csv && rm -f tt.csv")
+set_tests_properties(cli_trace_roundtrip PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
