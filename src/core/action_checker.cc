@@ -35,6 +35,9 @@ ActionChecker::validDevices(
             continue;
         if (dev.freeBytes() < f.sizeBytes)
             continue;
+        if (!dev.available() ||
+            dev.healthFactor() < config_.minHealthFactor)
+            continue; // offline or too degraded to take new data
         valid.push_back(id);
     }
     return valid;
@@ -50,6 +53,8 @@ ActionChecker::selectMove(storage::FileId file,
         return lower_is_better ? a < b : a > b;
     };
     storage::DeviceId current = system_.location(file);
+    if (!system_.device(current).available())
+        return std::nullopt; // data unreachable: nothing to execute
 
     std::vector<storage::DeviceId> candidates;
     candidates.reserve(scores.size());
@@ -128,11 +133,16 @@ std::optional<CheckedMove>
 ActionChecker::randomMove(storage::FileId file, Rng &rng) const
 {
     const storage::FileObject &f = system_.file(file);
+    if (!system_.device(f.location).available())
+        return std::nullopt; // data unreachable: nothing to execute
     std::vector<storage::DeviceId> options;
     for (storage::DeviceId id : system_.deviceIds()) {
         if (id == f.location)
             continue;
         const storage::StorageDevice &dev = system_.device(id);
+        if (!dev.available() ||
+            dev.healthFactor() < config_.minHealthFactor)
+            continue;
         if (dev.writable() && dev.freeBytes() >= f.sizeBytes)
             options.push_back(id);
     }

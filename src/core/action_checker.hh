@@ -40,6 +40,9 @@ struct CheckerConfig
      *  configuration over time", which this cap enforces (its future
      *  work proposes a full movement scheduler). */
     size_t maxMovesPerTarget = 3;
+    /** Devices degraded below this health factor are invalid as move
+     *  targets (offline devices are always invalid). */
+    double minHealthFactor = 0.5;
 };
 
 /** A checked, ready-to-apply movement decision. */

@@ -1,27 +1,75 @@
 #include "core/control_agent.hh"
 
+#include <algorithm>
+
+#include "util/logging.hh"
+
 namespace geo {
 namespace core {
 
-ControlAgent::ControlAgent(storage::StorageSystem &system, ReplayDb *db)
-    : system_(system), db_(db)
+ControlAgent::ControlAgent(storage::StorageSystem &system, ReplayDb *db,
+                           ControlAgentConfig config)
+    : system_(system), db_(db), config_(config), rng_(config.seed)
 {
 }
 
-MoveSummary
-ControlAgent::apply(const std::vector<MoveRequest> &moves)
+double
+ControlAgent::backoffDelay(size_t attempts)
 {
-    MoveSummary summary;
-    summary.requested = moves.size();
-    for (const MoveRequest &req : moves) {
-        storage::MoveResult result = system_.moveFile(req.file, req.target);
-        if (!result.moved)
-            continue;
+    // attempts = tries already made, so the first retry (attempts == 1)
+    // waits backoffBase seconds.
+    double delay = config_.retry.backoffBase;
+    for (size_t i = 1; i < attempts; ++i)
+        delay *= config_.retry.backoffMultiplier;
+    double jitter = config_.retry.jitterFraction;
+    if (jitter > 0.0)
+        delay *= 1.0 + rng_.uniform(-jitter, jitter);
+    return std::max(delay, 0.0);
+}
+
+void
+ControlAgent::logAttempt(const AppliedMove &fate, uint64_t bytes_copied)
+{
+    if (!db_)
+        return;
+    MoveAttemptRecord rec;
+    rec.timestamp = system_.clock().now();
+    rec.file = fate.file;
+    rec.fromDevice = fate.from;
+    rec.toDevice = fate.to;
+    rec.attempt = static_cast<int>(fate.attempt);
+    rec.outcome = fate.outcome;
+    rec.reason = fate.reason;
+    rec.bytesCopied = bytes_copied;
+    db_->insertMoveAttempt(rec);
+}
+
+void
+ControlAgent::attemptMove(const MoveRequest &req, size_t prior_attempts,
+                          double first_attempt, MoveSummary &summary)
+{
+    storage::DeviceId from = system_.location(req.file);
+    storage::MoveResult result =
+        config_.chunkBytes > 0
+            ? system_.moveFileChunked(req.file, req.target,
+                                      config_.chunkBytes)
+            : system_.moveFile(req.file, req.target);
+
+    AppliedMove fate;
+    fate.file = req.file;
+    fate.from = from;
+    fate.to = req.target;
+    fate.reason = result.reason;
+    fate.attempt = prior_attempts + 1;
+
+    if (result.moved) {
+        fate.outcome = AttemptOutcome::Applied;
         ++summary.applied;
         summary.bytesMoved += result.bytes;
         summary.transferSeconds += result.seconds;
         ++totalMoves_;
         totalBytes_ += result.bytes;
+        logAttempt(fate, result.bytes);
         if (db_) {
             MovementRecord rec;
             rec.timestamp = system_.clock().now();
@@ -32,8 +80,137 @@ ControlAgent::apply(const std::vector<MoveRequest> &moves)
             rec.seconds = result.seconds;
             db_->insertMovement(rec);
         }
+    } else if (result.failed) {
+        // Fault-class abort: retry with backoff unless the budget or
+        // the per-move deadline ran out.
+        ++summary.failed;
+        double now = system_.clock().now();
+        size_t attempts = prior_attempts + 1;
+        bool budget_left = attempts < config_.retry.maxAttempts;
+        bool within_deadline =
+            now - first_attempt < config_.retry.moveDeadlineSeconds;
+        if (budget_left && within_deadline) {
+            fate.outcome = AttemptOutcome::Failed;
+            Pending pend;
+            pend.req = req;
+            pend.attempts = attempts;
+            pend.firstAttempt = first_attempt;
+            pend.nextAttempt = now + backoffDelay(attempts);
+            pending_.push_back(pend);
+            ++summary.requeued;
+            warn("control: move file %llu -> dev %u aborted (%s, "
+                 "attempt %zu), retrying at t=%.1f",
+                 (unsigned long long)req.file, (unsigned)req.target,
+                 storage::moveFailName(result.reason), attempts,
+                 pend.nextAttempt);
+        } else {
+            fate.outcome = AttemptOutcome::Abandoned;
+            ++summary.abandoned;
+            ++totalAbandoned_;
+            warn("control: move file %llu -> dev %u abandoned after "
+                 "%zu attempts (%s)",
+                 (unsigned long long)req.file, (unsigned)req.target,
+                 attempts, storage::moveFailName(result.reason));
+        }
+        logAttempt(fate, result.bytesCopied);
+    } else {
+        // Validity-class rejection: the request itself is bad (wrong
+        // target, no capacity, no-op); dropping it is the right move.
+        fate.outcome = AttemptOutcome::Skipped;
+        ++summary.skipped;
+        if (result.reason != storage::MoveFail::SameDevice)
+            warn("control: skipped move file %llu -> dev %u (%s)",
+                 (unsigned long long)req.file, (unsigned)req.target,
+                 storage::moveFailName(result.reason));
+        logAttempt(fate, 0);
     }
+    summary.outcomes.push_back(fate);
+}
+
+MoveSummary
+ControlAgent::apply(const std::vector<MoveRequest> &moves)
+{
+    MoveSummary summary;
+    summary.requested = moves.size();
+
+    // A fresh request for a file supersedes its pending retry: the
+    // model has newer information about where the file should live.
+    if (!pending_.empty() && !moves.empty()) {
+        auto superseded = [&moves](const Pending &p) {
+            return std::any_of(moves.begin(), moves.end(),
+                               [&p](const MoveRequest &m) {
+                                   return m.file == p.req.file;
+                               });
+        };
+        pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                      superseded),
+                       pending_.end());
+    }
+
+    // Drain the retries that have reached their due time.
+    double now = system_.clock().now();
+    std::vector<Pending> due;
+    for (size_t i = 0; i < pending_.size();) {
+        if (pending_[i].nextAttempt <= now) {
+            due.push_back(pending_[i]);
+            pending_.erase(pending_.begin() +
+                           static_cast<ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+    for (const Pending &p : due)
+        attemptMove(p.req, p.attempts, p.firstAttempt, summary);
+
+    for (const MoveRequest &req : moves)
+        attemptMove(req, 0, system_.clock().now(), summary);
     return summary;
+}
+
+size_t
+ControlAgent::restorePending()
+{
+    if (!db_)
+        return 0;
+    // Scan the attempt log oldest-first: the last attempt seen per
+    // (file, target) decides whether a retry is still owed.
+    struct Last
+    {
+        AttemptOutcome outcome;
+        size_t attempts;
+        double firstAttempt;
+    };
+    std::map<std::pair<storage::FileId, storage::DeviceId>, Last> last;
+    size_t total = static_cast<size_t>(db_->moveAttemptCount());
+    for (const MoveAttemptRecord &rec : db_->recentMoveAttempts(total)) {
+        auto key = std::make_pair(rec.file, rec.toDevice);
+        auto it = last.find(key);
+        Last entry;
+        entry.outcome = rec.outcome;
+        entry.attempts = static_cast<size_t>(rec.attempt);
+        entry.firstAttempt = (it != last.end() && rec.attempt > 1)
+                                 ? it->second.firstAttempt
+                                 : rec.timestamp;
+        last[key] = entry;
+    }
+    size_t restored = 0;
+    double now = system_.clock().now();
+    for (const auto &[key, entry] : last) {
+        if (entry.outcome != AttemptOutcome::Failed)
+            continue;
+        Pending pend;
+        pend.req.file = key.first;
+        pend.req.target = key.second;
+        pend.attempts = entry.attempts;
+        pend.firstAttempt = entry.firstAttempt;
+        pend.nextAttempt = now; // due immediately after restart
+        pending_.push_back(pend);
+        ++restored;
+    }
+    if (restored > 0)
+        inform("control: restored %zu pending retr%s from the attempt "
+               "log", restored, restored == 1 ? "y" : "ies");
+    return restored;
 }
 
 } // namespace core

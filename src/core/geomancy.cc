@@ -19,7 +19,10 @@ Geomancy::Geomancy(storage::StorageSystem &system,
     daemon_ = std::make_unique<InterfaceDaemon>(*db_, config_.daemon);
     engine_ = std::make_unique<DrlEngine>(config_.drl);
     checker_ = std::make_unique<ActionChecker>(system_, config_.checker);
-    control_ = std::make_unique<ControlAgent>(system_, db_.get());
+    ControlAgentConfig control_cfg = config_.control;
+    control_cfg.seed ^= config_.seed; // jitter follows the master seed
+    control_ =
+        std::make_unique<ControlAgent>(system_, db_.get(), control_cfg);
     if (config_.useScheduler) {
         scheduler_ = std::make_unique<MovementScheduler>(
             system_, *db_, config_.scheduler);
@@ -140,7 +143,7 @@ Geomancy::runCycle()
         moves = scheduler_->admitAll(std::move(moves),
                                      system_.clock().now());
     }
-    if (moves.empty())
+    if (moves.empty() && control_->pendingRetries() == 0)
         return report;
 
     std::vector<MoveRequest> requests;
@@ -149,6 +152,20 @@ Geomancy::runCycle()
         requests.push_back({move.file, move.to});
     report.moves = control_->apply(requests);
     report.acted = report.moves.applied > 0;
+
+    // Let the scheduler's circuit breaker learn from move fates:
+    // successes close a target's breaker, fault-class failures count
+    // toward opening it.
+    if (scheduler_) {
+        double now = system_.clock().now();
+        for (const AppliedMove &fate : report.moves.outcomes) {
+            if (fate.outcome == AttemptOutcome::Applied)
+                scheduler_->recordMoveOutcome(fate.to, true, now);
+            else if (fate.outcome != AttemptOutcome::Skipped &&
+                     storage::moveFailRetryable(fate.reason))
+                scheduler_->recordMoveOutcome(fate.to, false, now);
+        }
+    }
     return report;
 }
 

@@ -60,6 +60,8 @@ struct GeomancyConfig
      *  the published system. */
     bool useScheduler = false;
     SchedulerConfig scheduler;
+    /** Control-agent chunking and retry policy. */
+    ControlAgentConfig control;
 };
 
 /** Report of one decision cycle. */

@@ -7,6 +7,20 @@
 namespace geo {
 namespace core {
 
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+    case BreakerState::Closed:
+        return "closed";
+    case BreakerState::Open:
+        return "open";
+    case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "unknown";
+}
+
 MovementScheduler::MovementScheduler(storage::StorageSystem &system,
                                      const ReplayDb &db,
                                      const SchedulerConfig &config)
@@ -34,6 +48,101 @@ MovementScheduler::expectedTransferSeconds(const CheckedMove &move,
     return static_cast<double>(f.sizeBytes) / bw;
 }
 
+void
+MovementScheduler::pruneFailures(Breaker &breaker, double now)
+{
+    while (!breaker.failures.empty() &&
+           now - breaker.failures.front() >
+               config_.breaker.windowSeconds)
+        breaker.failures.pop_front();
+}
+
+bool
+MovementScheduler::breakerAdmits(storage::DeviceId target, double now)
+{
+    if (!config_.breaker.enabled)
+        return true;
+    auto it = breakers_.find(target);
+    if (it == breakers_.end())
+        return true;
+    Breaker &breaker = it->second;
+    switch (breaker.state) {
+    case BreakerState::Closed:
+        return true;
+    case BreakerState::Open:
+        if (now - breaker.openedAt < config_.breaker.cooldownSeconds)
+            return false;
+        breaker.state = BreakerState::HalfOpen;
+        breaker.probeInFlight = false;
+        inform("scheduler: breaker for device %u half-open at t=%.1f",
+               (unsigned)target, now);
+        [[fallthrough]];
+    case BreakerState::HalfOpen:
+        // Exactly one probe move is allowed through; further moves
+        // wait for the probe's outcome.
+        if (breaker.probeInFlight)
+            return false;
+        breaker.probeInFlight = true;
+        return true;
+    }
+    return true;
+}
+
+BreakerState
+MovementScheduler::breakerState(storage::DeviceId target, double now)
+{
+    if (!config_.breaker.enabled)
+        return BreakerState::Closed;
+    auto it = breakers_.find(target);
+    if (it == breakers_.end())
+        return BreakerState::Closed;
+    Breaker &breaker = it->second;
+    if (breaker.state == BreakerState::Open &&
+        now - breaker.openedAt >= config_.breaker.cooldownSeconds) {
+        breaker.state = BreakerState::HalfOpen;
+        breaker.probeInFlight = false;
+    }
+    return breaker.state;
+}
+
+void
+MovementScheduler::recordMoveOutcome(storage::DeviceId target,
+                                     bool success, double now)
+{
+    if (!config_.breaker.enabled)
+        return;
+    Breaker &breaker = breakers_[target];
+    if (success) {
+        // Any success proves the device is taking writes again.
+        if (breaker.state != BreakerState::Closed)
+            inform("scheduler: breaker for device %u closed at t=%.1f",
+                   (unsigned)target, now);
+        breaker.state = BreakerState::Closed;
+        breaker.probeInFlight = false;
+        breaker.failures.clear();
+        return;
+    }
+    if (breaker.state == BreakerState::HalfOpen) {
+        // The probe failed: back to open, restart the cooldown.
+        breaker.state = BreakerState::Open;
+        breaker.openedAt = now;
+        breaker.probeInFlight = false;
+        warn("scheduler: probe move onto device %u failed, breaker "
+             "re-opened", (unsigned)target);
+        return;
+    }
+    breaker.failures.push_back(now);
+    pruneFailures(breaker, now);
+    if (breaker.state == BreakerState::Closed &&
+        breaker.failures.size() >= config_.breaker.failureThreshold) {
+        breaker.state = BreakerState::Open;
+        breaker.openedAt = now;
+        warn("scheduler: breaker for device %u opened after %zu "
+             "failures in %.0f s", (unsigned)target,
+             breaker.failures.size(), config_.breaker.windowSeconds);
+    }
+}
+
 bool
 MovementScheduler::admit(const CheckedMove &move, double now)
 {
@@ -50,6 +159,12 @@ MovementScheduler::admit(const CheckedMove &move, double now)
             ++rejectedGap_;
             return false;
         }
+    }
+    // Breaker last: a half-open breaker's single probe slot must only
+    // be consumed by a move that will actually execute.
+    if (!breakerAdmits(move.to, now)) {
+        ++rejectedBreaker_;
+        return false;
     }
     lastMove_[move.file] = now;
     return true;

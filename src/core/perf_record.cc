@@ -39,6 +39,7 @@ PerfRecord::fromObservation(const storage::AccessObservation &obs)
     rec.cts = close_ts.seconds;
     rec.ctms = close_ts.millis;
     rec.throughput = obs.throughput;
+    rec.failed = obs.failed;
     return rec;
 }
 

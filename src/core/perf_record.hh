@@ -38,6 +38,9 @@ struct PerfRecord
     int64_t cts = 0;         ///< close timestamp seconds
     int64_t ctms = 0;        ///< close timestamp milliseconds
     double throughput = 0.0; ///< measured bytes/s (the reward)
+    /** The access errored (fault injection): throughput is zero and
+     *  the sample teaches the model that this device is dying. */
+    bool failed = false;
 
     /**
      * The Z = 6 feature vector [rb, wb, ots, cts, fid, fsid], with the

@@ -30,13 +30,31 @@ readAccessRow(sqlite3_stmt *stmt)
     rec.cts = sqlite3_column_int64(stmt, 7);
     rec.ctms = sqlite3_column_int64(stmt, 8);
     rec.throughput = sqlite3_column_double(stmt, 9);
+    rec.failed = sqlite3_column_int64(stmt, 10) != 0;
     return rec;
 }
 
 constexpr const char *kAccessColumns =
-    "id, file_id, device_id, rb, wb, ots, otms, cts, ctms, throughput";
+    "id, file_id, device_id, rb, wb, ots, otms, cts, ctms, throughput,"
+    " failed";
 
 } // namespace
+
+const char *
+attemptOutcomeName(AttemptOutcome outcome)
+{
+    switch (outcome) {
+      case AttemptOutcome::Applied:
+        return "applied";
+      case AttemptOutcome::Skipped:
+        return "skipped";
+      case AttemptOutcome::Failed:
+        return "failed";
+      case AttemptOutcome::Abandoned:
+        return "abandoned";
+    }
+    return "unknown";
+}
 
 ReplayDb::ReplayDb(const std::string &path)
 {
@@ -56,8 +74,19 @@ ReplayDb::ReplayDb(const std::string &path)
          "  otms INTEGER NOT NULL,"
          "  cts INTEGER NOT NULL,"
          "  ctms INTEGER NOT NULL,"
-         "  throughput REAL NOT NULL"
+         "  throughput REAL NOT NULL,"
+         "  failed INTEGER NOT NULL DEFAULT 0"
          ");");
+    {
+        // On-disk databases written before the fault model predate the
+        // failed column; add it in place (a no-op error otherwise).
+        char *err = nullptr;
+        if (sqlite3_exec(db_,
+                         "ALTER TABLE accesses ADD COLUMN failed"
+                         " INTEGER NOT NULL DEFAULT 0;",
+                         nullptr, nullptr, &err) != SQLITE_OK)
+            sqlite3_free(err);
+    }
     exec("CREATE INDEX IF NOT EXISTS idx_accesses_device"
          " ON accesses(device_id, id);");
     exec("CREATE INDEX IF NOT EXISTS idx_accesses_file"
@@ -71,10 +100,32 @@ ReplayDb::ReplayDb(const std::string &path)
          "  bytes INTEGER NOT NULL,"
          "  seconds REAL NOT NULL"
          ");");
+    exec("CREATE TABLE IF NOT EXISTS move_attempts ("
+         "  id INTEGER PRIMARY KEY AUTOINCREMENT,"
+         "  timestamp REAL NOT NULL,"
+         "  file_id INTEGER NOT NULL,"
+         "  from_device INTEGER NOT NULL,"
+         "  to_device INTEGER NOT NULL,"
+         "  attempt INTEGER NOT NULL,"
+         "  outcome INTEGER NOT NULL,"
+         "  reason INTEGER NOT NULL,"
+         "  bytes_copied INTEGER NOT NULL"
+         ");");
+    exec("CREATE INDEX IF NOT EXISTS idx_attempts_file"
+         " ON move_attempts(file_id, id);");
+    exec("CREATE TABLE IF NOT EXISTS fault_events ("
+         "  id INTEGER PRIMARY KEY AUTOINCREMENT,"
+         "  timestamp REAL NOT NULL,"
+         "  device_id INTEGER NOT NULL,"
+         "  kind INTEGER NOT NULL,"
+         "  active INTEGER NOT NULL,"
+         "  magnitude REAL NOT NULL"
+         ");");
 
     const char *insert_access =
         "INSERT INTO accesses (file_id, device_id, rb, wb, ots, otms, cts,"
-        " ctms, throughput) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?);";
+        " ctms, throughput, failed)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?);";
     if (sqlite3_prepare_v2(db_, insert_access, -1, &insertAccessStmt_,
                            nullptr) != SQLITE_OK)
         fatal("ReplayDb: prepare insertAccess: %s", sqlite3_errmsg(db_));
@@ -85,12 +136,31 @@ ReplayDb::ReplayDb(const std::string &path)
     if (sqlite3_prepare_v2(db_, insert_movement, -1, &insertMovementStmt_,
                            nullptr) != SQLITE_OK)
         fatal("ReplayDb: prepare insertMovement: %s", sqlite3_errmsg(db_));
+
+    const char *insert_attempt =
+        "INSERT INTO move_attempts (timestamp, file_id, from_device,"
+        " to_device, attempt, outcome, reason, bytes_copied)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?);";
+    if (sqlite3_prepare_v2(db_, insert_attempt, -1, &insertAttemptStmt_,
+                           nullptr) != SQLITE_OK)
+        fatal("ReplayDb: prepare insertMoveAttempt: %s",
+              sqlite3_errmsg(db_));
+
+    const char *insert_fault =
+        "INSERT INTO fault_events (timestamp, device_id, kind, active,"
+        " magnitude) VALUES (?, ?, ?, ?, ?);";
+    if (sqlite3_prepare_v2(db_, insert_fault, -1, &insertFaultStmt_,
+                           nullptr) != SQLITE_OK)
+        fatal("ReplayDb: prepare insertFaultEvent: %s",
+              sqlite3_errmsg(db_));
 }
 
 ReplayDb::~ReplayDb()
 {
     sqlite3_finalize(insertAccessStmt_);
     sqlite3_finalize(insertMovementStmt_);
+    sqlite3_finalize(insertAttemptStmt_);
+    sqlite3_finalize(insertFaultStmt_);
     sqlite3_close(db_);
 }
 
@@ -124,6 +194,7 @@ ReplayDb::insertAccess(const PerfRecord &record)
     sqlite3_bind_int64(insertAccessStmt_, 7, record.cts);
     sqlite3_bind_int64(insertAccessStmt_, 8, record.ctms);
     sqlite3_bind_double(insertAccessStmt_, 9, record.throughput);
+    sqlite3_bind_int64(insertAccessStmt_, 10, record.failed ? 1 : 0);
     if (sqlite3_step(insertAccessStmt_) != SQLITE_DONE)
         fatal("ReplayDb: insertAccess: %s", sqlite3_errmsg(db_));
     return sqlite3_last_insert_rowid(db_);
@@ -326,11 +397,176 @@ ReplayDb::recentMovements(size_t limit) const
     return records;
 }
 
+namespace {
+
+MoveAttemptRecord
+readAttemptRow(sqlite3_stmt *stmt)
+{
+    MoveAttemptRecord rec;
+    rec.id = sqlite3_column_int64(stmt, 0);
+    rec.timestamp = sqlite3_column_double(stmt, 1);
+    rec.file =
+        static_cast<storage::FileId>(sqlite3_column_int64(stmt, 2));
+    rec.fromDevice =
+        static_cast<storage::DeviceId>(sqlite3_column_int64(stmt, 3));
+    rec.toDevice =
+        static_cast<storage::DeviceId>(sqlite3_column_int64(stmt, 4));
+    rec.attempt = static_cast<int>(sqlite3_column_int64(stmt, 5));
+    rec.outcome =
+        static_cast<AttemptOutcome>(sqlite3_column_int64(stmt, 6));
+    rec.reason =
+        static_cast<storage::MoveFail>(sqlite3_column_int64(stmt, 7));
+    rec.bytesCopied =
+        static_cast<uint64_t>(sqlite3_column_int64(stmt, 8));
+    return rec;
+}
+
+constexpr const char *kAttemptColumns =
+    "id, timestamp, file_id, from_device, to_device, attempt, outcome,"
+    " reason, bytes_copied";
+
+} // namespace
+
+int64_t
+ReplayDb::insertMoveAttempt(const MoveAttemptRecord &attempt)
+{
+    sqlite3_reset(insertAttemptStmt_);
+    sqlite3_bind_double(insertAttemptStmt_, 1, attempt.timestamp);
+    sqlite3_bind_int64(insertAttemptStmt_, 2,
+                       static_cast<int64_t>(attempt.file));
+    sqlite3_bind_int64(insertAttemptStmt_, 3,
+                       static_cast<int64_t>(attempt.fromDevice));
+    sqlite3_bind_int64(insertAttemptStmt_, 4,
+                       static_cast<int64_t>(attempt.toDevice));
+    sqlite3_bind_int64(insertAttemptStmt_, 5, attempt.attempt);
+    sqlite3_bind_int64(insertAttemptStmt_, 6,
+                       static_cast<int64_t>(attempt.outcome));
+    sqlite3_bind_int64(insertAttemptStmt_, 7,
+                       static_cast<int64_t>(attempt.reason));
+    sqlite3_bind_int64(insertAttemptStmt_, 8,
+                       static_cast<int64_t>(attempt.bytesCopied));
+    if (sqlite3_step(insertAttemptStmt_) != SQLITE_DONE)
+        fatal("ReplayDb: insertMoveAttempt: %s", sqlite3_errmsg(db_));
+    return sqlite3_last_insert_rowid(db_);
+}
+
+int64_t
+ReplayDb::moveAttemptCount() const
+{
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, "SELECT COUNT(*) FROM move_attempts;", -1,
+                           &stmt, nullptr) != SQLITE_OK)
+        fatal("ReplayDb: moveAttemptCount: %s", sqlite3_errmsg(db_));
+    int64_t count = 0;
+    if (sqlite3_step(stmt) == SQLITE_ROW)
+        count = sqlite3_column_int64(stmt, 0);
+    sqlite3_finalize(stmt);
+    return count;
+}
+
+std::vector<MoveAttemptRecord>
+ReplayDb::recentMoveAttempts(size_t limit) const
+{
+    std::string sql = strprintf(
+        "SELECT %s FROM move_attempts ORDER BY id DESC LIMIT ?;",
+        kAttemptColumns);
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql.c_str(), -1, &stmt, nullptr) !=
+        SQLITE_OK)
+        fatal("ReplayDb: recentMoveAttempts: %s", sqlite3_errmsg(db_));
+    sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(limit));
+    std::vector<MoveAttemptRecord> records;
+    while (sqlite3_step(stmt) == SQLITE_ROW)
+        records.push_back(readAttemptRow(stmt));
+    sqlite3_finalize(stmt);
+    std::reverse(records.begin(), records.end());
+    return records;
+}
+
+std::vector<MoveAttemptRecord>
+ReplayDb::attemptsForFile(storage::FileId file, size_t limit) const
+{
+    std::string sql = strprintf(
+        "SELECT %s FROM move_attempts WHERE file_id = ?"
+        " ORDER BY id DESC LIMIT ?;",
+        kAttemptColumns);
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql.c_str(), -1, &stmt, nullptr) !=
+        SQLITE_OK)
+        fatal("ReplayDb: attemptsForFile: %s", sqlite3_errmsg(db_));
+    sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(file));
+    sqlite3_bind_int64(stmt, 2, static_cast<int64_t>(limit));
+    std::vector<MoveAttemptRecord> records;
+    while (sqlite3_step(stmt) == SQLITE_ROW)
+        records.push_back(readAttemptRow(stmt));
+    sqlite3_finalize(stmt);
+    std::reverse(records.begin(), records.end());
+    return records;
+}
+
+int64_t
+ReplayDb::insertFaultEvent(const FaultEventRecord &event)
+{
+    sqlite3_reset(insertFaultStmt_);
+    sqlite3_bind_double(insertFaultStmt_, 1, event.timestamp);
+    sqlite3_bind_int64(insertFaultStmt_, 2,
+                       static_cast<int64_t>(event.device));
+    sqlite3_bind_int64(insertFaultStmt_, 3, event.kind);
+    sqlite3_bind_int64(insertFaultStmt_, 4, event.active ? 1 : 0);
+    sqlite3_bind_double(insertFaultStmt_, 5, event.magnitude);
+    if (sqlite3_step(insertFaultStmt_) != SQLITE_DONE)
+        fatal("ReplayDb: insertFaultEvent: %s", sqlite3_errmsg(db_));
+    return sqlite3_last_insert_rowid(db_);
+}
+
+int64_t
+ReplayDb::faultEventCount() const
+{
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, "SELECT COUNT(*) FROM fault_events;", -1,
+                           &stmt, nullptr) != SQLITE_OK)
+        fatal("ReplayDb: faultEventCount: %s", sqlite3_errmsg(db_));
+    int64_t count = 0;
+    if (sqlite3_step(stmt) == SQLITE_ROW)
+        count = sqlite3_column_int64(stmt, 0);
+    sqlite3_finalize(stmt);
+    return count;
+}
+
+std::vector<FaultEventRecord>
+ReplayDb::recentFaultEvents(size_t limit) const
+{
+    const char *sql =
+        "SELECT id, timestamp, device_id, kind, active, magnitude"
+        " FROM fault_events ORDER BY id DESC LIMIT ?;";
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql, -1, &stmt, nullptr) != SQLITE_OK)
+        fatal("ReplayDb: recentFaultEvents: %s", sqlite3_errmsg(db_));
+    sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(limit));
+    std::vector<FaultEventRecord> records;
+    while (sqlite3_step(stmt) == SQLITE_ROW) {
+        FaultEventRecord rec;
+        rec.id = sqlite3_column_int64(stmt, 0);
+        rec.timestamp = sqlite3_column_double(stmt, 1);
+        rec.device = static_cast<storage::DeviceId>(
+            sqlite3_column_int64(stmt, 2));
+        rec.kind = static_cast<int>(sqlite3_column_int64(stmt, 3));
+        rec.active = sqlite3_column_int64(stmt, 4) != 0;
+        rec.magnitude = sqlite3_column_double(stmt, 5);
+        records.push_back(rec);
+    }
+    sqlite3_finalize(stmt);
+    std::reverse(records.begin(), records.end());
+    return records;
+}
+
 void
 ReplayDb::clear()
 {
     exec("DELETE FROM accesses;");
     exec("DELETE FROM movements;");
+    exec("DELETE FROM move_attempts;");
+    exec("DELETE FROM fault_events;");
 }
 
 std::string
@@ -339,7 +575,7 @@ ReplayDb::exportAccessesCsv() const
     std::ostringstream os;
     CsvWriter writer(os);
     writer.writeRow({"file_id", "device_id", "rb", "wb", "ots", "otms",
-                     "cts", "ctms", "throughput"});
+                     "cts", "ctms", "throughput", "failed"});
     // Stream in id order; the window helper returns oldest-first when
     // given the full count.
     size_t total = static_cast<size_t>(accessCount());
@@ -350,6 +586,7 @@ ReplayDb::exportAccessesCsv() const
             std::to_string(rec.ots), std::to_string(rec.otms),
             std::to_string(rec.cts), std::to_string(rec.ctms),
             strprintf("%.17g", rec.throughput),
+            rec.failed ? "1" : "0",
         });
     }
     return os.str();
@@ -362,10 +599,13 @@ ReplayDb::importAccessesCsv(const std::string &csv)
     if (rows.empty())
         return 0;
     std::vector<PerfRecord> records;
-    constexpr size_t kColumns = 9;
+    // 10 columns since the failed flag was added; 9-column exports from
+    // before the fault-injection layer import with failed = 0.
+    constexpr size_t kColumns = 10;
+    constexpr size_t kLegacyColumns = 9;
     for (size_t i = 1; i < rows.size(); ++i) { // skip header
         const auto &row = rows[i];
-        if (row.size() != kColumns) {
+        if (row.size() != kColumns && row.size() != kLegacyColumns) {
             warn("importAccessesCsv: row %zu has %zu fields, expected "
                  "%zu", i, row.size(), kColumns);
             continue;
@@ -381,6 +621,8 @@ ReplayDb::importAccessesCsv(const std::string &csv)
         rec.cts = std::stoll(row[c++]);
         rec.ctms = std::stoll(row[c++]);
         rec.throughput = std::stod(row[c++]);
+        if (row.size() == kColumns)
+            rec.failed = std::stoi(row[c++]) != 0;
         records.push_back(rec);
     }
     insertAccesses(records);

@@ -36,6 +36,45 @@ struct MovementRecord
     double seconds = 0.0; ///< transfer duration
 };
 
+/** Outcome of one recorded migration attempt. */
+enum class AttemptOutcome {
+    Applied = 0,   ///< the move completed
+    Skipped = 1,   ///< invalid request, not executed (with reason)
+    Failed = 2,    ///< fault aborted the attempt; a retry is pending
+    Abandoned = 3, ///< fault aborted and the retry budget/deadline ran out
+};
+
+/** Printable name of an attempt outcome. */
+const char *attemptOutcomeName(AttemptOutcome outcome);
+
+/**
+ * One migration attempt (including retries), logged so the full
+ * retry history of every move survives a crash and can be replayed.
+ */
+struct MoveAttemptRecord
+{
+    int64_t id = 0;
+    double timestamp = 0.0;
+    storage::FileId file = 0;
+    storage::DeviceId fromDevice = 0;
+    storage::DeviceId toDevice = 0;
+    int attempt = 1; ///< 1-based attempt number for this move
+    AttemptOutcome outcome = AttemptOutcome::Applied;
+    storage::MoveFail reason = storage::MoveFail::None;
+    uint64_t bytesCopied = 0; ///< bytes landed before the abort
+};
+
+/** A fault-schedule transition (episode begins or ends). */
+struct FaultEventRecord
+{
+    int64_t id = 0;
+    double timestamp = 0.0;
+    storage::DeviceId device = 0;
+    int kind = 0;           ///< storage::FaultKind as int
+    bool active = false;    ///< episode begins (true) or ends (false)
+    double magnitude = 0.0; ///< error probability / bandwidth factor
+};
+
 /**
  * SQLite-backed store of performance and movement history.
  */
@@ -95,6 +134,26 @@ class ReplayDb
     /** Most recent `limit` movements, oldest first. */
     std::vector<MovementRecord> recentMovements(size_t limit) const;
 
+    /** Record one migration attempt (success, skip, failure, ...). */
+    int64_t insertMoveAttempt(const MoveAttemptRecord &attempt);
+
+    int64_t moveAttemptCount() const;
+
+    /** Most recent `limit` attempts, oldest first. */
+    std::vector<MoveAttemptRecord> recentMoveAttempts(size_t limit) const;
+
+    /** Most recent `limit` attempts touching one file, oldest first. */
+    std::vector<MoveAttemptRecord> attemptsForFile(storage::FileId file,
+                                                   size_t limit) const;
+
+    /** Record a fault-schedule transition. */
+    int64_t insertFaultEvent(const FaultEventRecord &event);
+
+    int64_t faultEventCount() const;
+
+    /** Most recent `limit` fault events, oldest first. */
+    std::vector<FaultEventRecord> recentFaultEvents(size_t limit) const;
+
     /** Delete all stored data (used between experiment phases). */
     void clear();
 
@@ -115,6 +174,8 @@ class ReplayDb
     sqlite3 *db_ = nullptr;
     sqlite3_stmt *insertAccessStmt_ = nullptr;
     sqlite3_stmt *insertMovementStmt_ = nullptr;
+    sqlite3_stmt *insertAttemptStmt_ = nullptr;
+    sqlite3_stmt *insertFaultStmt_ = nullptr;
 
     void exec(const std::string &sql);
     std::vector<PerfRecord> queryAccesses(const std::string &sql,

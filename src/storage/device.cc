@@ -19,6 +19,18 @@ StorageDevice::StorageDevice(DeviceId id, const DeviceConfig &config)
     if (config_.selfLoadTau <= 0.0)
         panic("StorageDevice %s: non-positive selfLoadTau",
               config_.name.c_str());
+    if (config_.errorLatency < 0.0)
+        panic("StorageDevice %s: negative error latency",
+              config_.name.c_str());
+}
+
+void
+StorageDevice::setHealthFactor(double factor)
+{
+    if (factor <= 0.0 || factor > 1.0)
+        panic("StorageDevice %s: health factor %f out of (0, 1]",
+              config_.name.c_str(), factor);
+    healthFactor_ = factor;
 }
 
 uint64_t
@@ -60,7 +72,7 @@ StorageDevice::effectiveBandwidth(bool is_read, double at) const
     double base = is_read ? config_.readBandwidth : config_.writeBandwidth;
     double divisor = 1.0 + externalLoad(at) +
                      config_.selfLoadWeight * selfLoad(at);
-    return base / divisor;
+    return base * healthFactor_ / divisor;
 }
 
 DeviceAccess
@@ -82,6 +94,25 @@ StorageDevice::access(uint64_t bytes, bool is_read, double at)
 
     throughputStats_.add(result.throughput);
     ++accessCount_;
+    return result;
+}
+
+DeviceAccess
+StorageDevice::failAccess(double at)
+{
+    decayTo(at);
+    DeviceAccess result;
+    result.duration = config_.errorLatency;
+    result.throughput = 0.0;
+    result.loadFactor = externalLoad(at) +
+                        config_.selfLoadWeight * selfLoad(at);
+    result.failed = true;
+
+    // A zero-throughput sample: the measured mean of a failing device
+    // collapses, which is the signal placement logic adapts to.
+    throughputStats_.add(0.0);
+    ++accessCount_;
+    ++failedAccessCount_;
     return result;
 }
 
@@ -114,6 +145,7 @@ StorageDevice::resetStats()
 {
     throughputStats_.reset();
     accessCount_ = 0;
+    failedAccessCount_ = 0;
 }
 
 } // namespace storage

@@ -39,6 +39,9 @@ struct DeviceConfig
     /** Weight of self-contention in the effective-bandwidth divisor. */
     double selfLoadWeight = 1.0;
     bool writable = true;        ///< Action Checker validity input
+    /** Seconds a failed access burns before the error surfaces (I/O
+     *  timeout; charged to the clock like any other access). */
+    double errorLatency = 0.05;
     ExternalTrafficConfig traffic;
 };
 
@@ -48,6 +51,7 @@ struct DeviceAccess
     double duration = 0.0;   ///< seconds, including fixed latency
     double throughput = 0.0; ///< bytes/s over the whole access
     double loadFactor = 0.0; ///< total contention divisor - 1
+    bool failed = false;     ///< the access errored (fault injection)
 };
 
 /**
@@ -67,6 +71,19 @@ class StorageDevice
     uint64_t freeBytes() const;
     bool writable() const { return config_.writable; }
     void setWritable(bool writable) { config_.writable = writable; }
+
+    /**
+     * Availability state, driven by the FaultInjector (or set directly
+     * by tests). An offline device fails every access and migration;
+     * a health factor below 1 scales the effective bandwidth (e.g. a
+     * RAID rebuild at factor 0.5 serves at half speed).
+     */
+    bool offline() const { return offline_; }
+    bool available() const { return !offline_; }
+    void setOffline(bool offline) { offline_ = offline; }
+    double healthFactor() const { return healthFactor_; }
+    void setHealthFactor(double factor);
+    bool degraded() const { return healthFactor_ < 1.0; }
 
     /** External load factor at time `at`. */
     double externalLoad(double at) const;
@@ -89,6 +106,14 @@ class StorageDevice
     DeviceAccess access(uint64_t bytes, bool is_read, double at);
 
     /**
+     * Simulate a *failed* access at `at`: burns the configured error
+     * latency, delivers zero throughput, and is recorded in the stats
+     * (a dying mount's measured mean collapses toward zero, which is
+     * what lets placement logic learn to avoid it).
+     */
+    DeviceAccess failAccess(double at);
+
+    /**
      * Account for a bulk transfer (migration traffic) occupying the
      * device for `seconds` starting at `at`, without producing an
      * access sample.
@@ -107,8 +132,11 @@ class StorageDevice
         return throughputStats_;
     }
 
-    /** Number of accesses served. */
+    /** Number of accesses served (successful and failed). */
     uint64_t accessCount() const { return accessCount_; }
+
+    /** Number of failed accesses (fault injection). */
+    uint64_t failedAccessCount() const { return failedAccessCount_; }
 
     void resetStats();
 
@@ -124,6 +152,11 @@ class StorageDevice
 
     StatAccumulator throughputStats_;
     uint64_t accessCount_ = 0;
+    uint64_t failedAccessCount_ = 0;
+
+    // Availability state driven by the FaultInjector.
+    bool offline_ = false;
+    double healthFactor_ = 1.0;
 
     /** Decay busyLoad_ forward to time `at`. */
     void decayTo(double at);

@@ -1,0 +1,145 @@
+#include "storage/fault_injector.hh"
+
+#include <algorithm>
+
+#include "storage/system.hh"
+#include "util/logging.hh"
+
+namespace geo {
+namespace storage {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TransientErrors:
+        return "transient-errors";
+      case FaultKind::Degradation:
+        return "degradation";
+      case FaultKind::Outage:
+        return "outage";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void
+validateEvent(const FaultEvent &event, size_t device_count)
+{
+    if (event.device >= device_count)
+        panic("FaultInjector: event on unknown device %u", event.device);
+    if (event.kind == FaultKind::TransientErrors &&
+        (event.magnitude < 0.0 || event.magnitude > 1.0))
+        panic("FaultInjector: error probability %f out of [0, 1]",
+              event.magnitude);
+    if (event.kind == FaultKind::Degradation &&
+        (event.magnitude <= 0.0 || event.magnitude > 1.0))
+        panic("FaultInjector: degradation factor %f out of (0, 1]",
+              event.magnitude);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(StorageSystem &system,
+                             FaultInjectorConfig config)
+    : system_(system), schedule_(std::move(config.schedule)),
+      rng_(config.seed)
+{
+    for (const FaultEvent &event : schedule_)
+        validateEvent(event, system_.deviceCount());
+    wasActive_.assign(schedule_.size(), false);
+    errorProb_.assign(system_.deviceCount(), 0.0);
+    applyState(0.0);
+}
+
+void
+FaultInjector::addEvent(const FaultEvent &event)
+{
+    validateEvent(event, system_.deviceCount());
+    schedule_.push_back(event);
+    wasActive_.push_back(false);
+    applyState(now_);
+}
+
+void
+FaultInjector::onTransition(TransitionHook hook)
+{
+    hooks_.push_back(std::move(hook));
+}
+
+void
+FaultInjector::advanceTo(double now)
+{
+    // The schedule is evaluated against absolute sim time, so moving
+    // backwards (concurrent accesses reuse the current time) is fine.
+    now_ = std::max(now_, now);
+    applyState(now_);
+}
+
+void
+FaultInjector::applyState(double now)
+{
+    size_t devices = system_.deviceCount();
+    if (errorProb_.size() < devices)
+        errorProb_.resize(devices, 0.0);
+    std::vector<double> factor(devices, 1.0);
+    std::vector<bool> offline(devices, false);
+    std::fill(errorProb_.begin(), errorProb_.end(), 0.0);
+
+    for (size_t i = 0; i < schedule_.size(); ++i) {
+        const FaultEvent &event = schedule_[i];
+        bool active = event.activeAt(now);
+        if (active != wasActive_[i]) {
+            wasActive_[i] = active;
+            inform("fault %s on device %u %s at t=%.1f",
+                   faultKindName(event.kind), event.device,
+                   active ? "begins" : "ends", now);
+            for (const TransitionHook &hook : hooks_)
+                hook(event, active, now);
+        }
+        if (!active)
+            continue;
+        switch (event.kind) {
+          case FaultKind::TransientErrors:
+            errorProb_[event.device] =
+                std::max(errorProb_[event.device], event.magnitude);
+            break;
+          case FaultKind::Degradation:
+            factor[event.device] =
+                std::min(factor[event.device], event.magnitude);
+            break;
+          case FaultKind::Outage:
+            offline[event.device] = true;
+            break;
+        }
+    }
+    for (DeviceId id = 0; id < devices; ++id) {
+        StorageDevice &dev = system_.device(id);
+        dev.setHealthFactor(factor[id]);
+        dev.setOffline(offline[id]);
+    }
+}
+
+bool
+FaultInjector::shouldFailAccess(DeviceId device)
+{
+    if (device >= errorProb_.size())
+        return false;
+    double p = errorProb_[device];
+    if (p <= 0.0)
+        return false;
+    bool fail = rng_.chance(p);
+    if (fail)
+        ++injectedFailures_;
+    return fail;
+}
+
+double
+FaultInjector::errorProbability(DeviceId device) const
+{
+    return device < errorProb_.size() ? errorProb_[device] : 0.0;
+}
+
+} // namespace storage
+} // namespace geo

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Seeded, scriptable fault injection for the simulated testbed.
+ *
+ * The paper only ever runs Geomancy on a healthy Bluesky node; real
+ * storage misbehaves. The injector drives three per-device fault
+ * classes off a schedule of timed events:
+ *
+ *  - transient I/O errors: each access fails independently with a
+ *    configured probability while the episode is active (flaky cable,
+ *    controller resets);
+ *  - bandwidth degradation: the device serves at a fraction of its
+ *    nominal bandwidth for the duration (RAID rebuild, firmware
+ *    throttling);
+ *  - outages: the device is offline — every access and every migration
+ *    touching it fails — for an interval or permanently (dead mount).
+ *
+ * The schedule is evaluated against the simulated clock: the owning
+ * StorageSystem calls advanceTo() before every access and migration
+ * chunk, so health transitions land exactly where the schedule puts
+ * them. All randomness (the transient-error draws) comes from one
+ * seeded generator, so a fault run is exactly reproducible.
+ */
+
+#ifndef GEO_STORAGE_FAULT_INJECTOR_HH
+#define GEO_STORAGE_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/device.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace storage {
+
+class StorageSystem;
+
+/** The fault classes the injector can produce. */
+enum class FaultKind {
+    TransientErrors, ///< per-access failure probability (magnitude)
+    Degradation,     ///< bandwidth scaled by magnitude in (0, 1]
+    Outage,          ///< device offline; magnitude ignored
+};
+
+/** Printable name of a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault episode on one device. */
+struct FaultEvent
+{
+    DeviceId device = 0;
+    FaultKind kind = FaultKind::TransientErrors;
+    double start = 0.0;    ///< simulated seconds
+    /** Episode length in seconds; <= 0 means permanent. */
+    double duration = 0.0;
+    /** TransientErrors: failure probability per access in [0, 1].
+     *  Degradation: bandwidth factor in (0, 1]. Outage: unused. */
+    double magnitude = 0.0;
+
+    /** Whether this event is active at time `at`. */
+    bool activeAt(double at) const
+    {
+        return at >= start && (duration <= 0.0 || at < start + duration);
+    }
+};
+
+/** Injector configuration. */
+struct FaultInjectorConfig
+{
+    /** Seed of the transient-error draw stream. Thread this off the
+     *  experiment master seed so fault runs are reproducible. */
+    uint64_t seed = 99;
+    std::vector<FaultEvent> schedule;
+};
+
+/**
+ * Applies a fault schedule to the devices of one StorageSystem.
+ */
+class FaultInjector
+{
+  public:
+    /** Callback fired when an event becomes active or inactive. */
+    using TransitionHook =
+        std::function<void(const FaultEvent &, bool active, double now)>;
+
+    /**
+     * @param system the system whose devices are driven (must outlive
+     *        the injector; attach with StorageSystem::attachFaultInjector).
+     */
+    FaultInjector(StorageSystem &system, FaultInjectorConfig config = {});
+
+    /** Add an event mid-run (the scriptable path used by benches). */
+    void addEvent(const FaultEvent &event);
+
+    /** Register a transition observer (e.g. to log into a ReplayDb). */
+    void onTransition(TransitionHook hook);
+
+    /**
+     * Re-evaluate the schedule at time `now` and push the resulting
+     * health state (offline flag, bandwidth factor) onto each device.
+     * Called by the StorageSystem before accesses and migration chunks.
+     */
+    void advanceTo(double now);
+
+    /**
+     * Draw the transient-error outcome for one access on `device` at
+     * the injector's current state. Consumes randomness only when an
+     * error episode is active on that device.
+     */
+    bool shouldFailAccess(DeviceId device);
+
+    /** Active per-access failure probability of a device. */
+    double errorProbability(DeviceId device) const;
+
+    /** Transient failures injected so far (outages not counted). */
+    uint64_t injectedFailures() const { return injectedFailures_; }
+
+    const std::vector<FaultEvent> &schedule() const { return schedule_; }
+
+  private:
+    StorageSystem &system_;
+    std::vector<FaultEvent> schedule_;
+    std::vector<bool> wasActive_; ///< parallel to schedule_
+    std::vector<TransitionHook> hooks_;
+    Rng rng_;
+    double now_ = 0.0;
+    std::vector<double> errorProb_; ///< per device, current state
+    uint64_t injectedFailures_ = 0;
+
+    void applyState(double now);
+};
+
+} // namespace storage
+} // namespace geo
+
+#endif // GEO_STORAGE_FAULT_INJECTOR_HH

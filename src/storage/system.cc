@@ -2,15 +2,56 @@
 
 #include <algorithm>
 
+#include "storage/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace geo {
 namespace storage {
 
+const char *
+moveFailName(MoveFail reason)
+{
+    switch (reason) {
+      case MoveFail::None:
+        return "none";
+      case MoveFail::SameDevice:
+        return "same-device";
+      case MoveFail::NoSuchDevice:
+        return "no-such-device";
+      case MoveFail::NotWritable:
+        return "not-writable";
+      case MoveFail::CapacityFull:
+        return "capacity-full";
+      case MoveFail::SourceOffline:
+        return "source-offline";
+      case MoveFail::TargetOffline:
+        return "target-offline";
+      case MoveFail::TransientFault:
+        return "transient-fault";
+    }
+    return "unknown";
+}
+
+bool
+moveFailRetryable(MoveFail reason)
+{
+    return reason == MoveFail::SourceOffline ||
+           reason == MoveFail::TargetOffline ||
+           reason == MoveFail::TransientFault;
+}
+
 StorageSystem::StorageSystem(SystemConfig config) : config_(config)
 {
     if (config_.networkBandwidth <= 0.0)
         panic("StorageSystem: non-positive network bandwidth");
+}
+
+void
+StorageSystem::attachFaultInjector(FaultInjector *injector)
+{
+    injector_ = injector;
+    if (injector_)
+        injector_->advanceTo(clock_.now());
 }
 
 DeviceId
@@ -104,7 +145,15 @@ StorageSystem::access(FileId id, uint64_t bytes, bool is_read)
     StorageDevice &dev = device(f.location);
 
     double start = clock_.now();
-    DeviceAccess result = dev.access(bytes, is_read, start);
+    if (injector_)
+        injector_->advanceTo(start);
+    DeviceAccess result;
+    if (!dev.available() ||
+        (injector_ && injector_->shouldFailAccess(dev.id()))) {
+        result = dev.failAccess(start);
+    } else {
+        result = dev.access(bytes, is_read, start);
+    }
     clock_.advance(result.duration);
 
     AccessObservation obs;
@@ -115,6 +164,7 @@ StorageSystem::access(FileId id, uint64_t bytes, bool is_read)
     obs.startTime = start;
     obs.endTime = clock_.now();
     obs.throughput = result.throughput;
+    obs.failed = result.failed;
 
     for (const auto &observer : accessObservers_)
         observer(obs);
@@ -128,7 +178,15 @@ StorageSystem::accessConcurrent(FileId id, uint64_t bytes, bool is_read)
     StorageDevice &dev = device(f.location);
 
     double start = clock_.now();
-    DeviceAccess result = dev.access(bytes, is_read, start);
+    if (injector_)
+        injector_->advanceTo(start);
+    DeviceAccess result;
+    if (!dev.available() ||
+        (injector_ && injector_->shouldFailAccess(dev.id()))) {
+        result = dev.failAccess(start);
+    } else {
+        result = dev.access(bytes, is_read, start);
+    }
     // Overlapping client: the device pays, the global clock does not.
 
     AccessObservation obs;
@@ -139,6 +197,7 @@ StorageSystem::accessConcurrent(FileId id, uint64_t bytes, bool is_read)
     obs.startTime = start;
     obs.endTime = start + result.duration;
     obs.throughput = result.throughput;
+    obs.failed = result.failed;
 
     for (const auto &observer : accessObservers_)
         observer(obs);
@@ -154,21 +213,50 @@ StorageSystem::moveFile(FileId id, DeviceId target)
     result.to = target;
     result.bytes = f.sizeBytes;
 
+    if (injector_)
+        injector_->advanceTo(clock_.now());
     if (target >= devices_.size()) {
         warn("moveFile: target device %u does not exist", target);
+        result.reason = MoveFail::NoSuchDevice;
         return result;
     }
-    if (target == f.location)
+    if (target == f.location) {
+        result.reason = MoveFail::SameDevice;
         return result; // no-op, not an error
+    }
 
     StorageDevice &src = device(f.location);
     StorageDevice &dst = device(target);
-    if (!dst.writable()) {
-        warn("moveFile: device %s is not writable", dst.name().c_str());
+    if (!src.available()) {
+        result.failed = true;
+        result.reason = MoveFail::SourceOffline;
+        ++abortedMoves_;
         return result;
     }
-    if (!dst.reserve(f.sizeBytes))
+    if (!dst.available()) {
+        result.failed = true;
+        result.reason = MoveFail::TargetOffline;
+        ++abortedMoves_;
+        return result;
+    }
+    if (!dst.writable()) {
+        warn("moveFile: device %s is not writable", dst.name().c_str());
+        result.reason = MoveFail::NotWritable;
+        return result;
+    }
+    if (!dst.reserve(f.sizeBytes)) {
+        result.reason = MoveFail::CapacityFull;
         return result; // destination full
+    }
+    if (injector_ && (injector_->shouldFailAccess(src.id()) ||
+                      injector_->shouldFailAccess(dst.id()))) {
+        // The transfer errors out before any byte lands.
+        dst.release(f.sizeBytes);
+        result.failed = true;
+        result.reason = MoveFail::TransientFault;
+        ++abortedMoves_;
+        return result;
+    }
 
     double now = clock_.now();
     double bw = std::min({src.effectiveBandwidth(true, now),
@@ -186,6 +274,7 @@ StorageSystem::moveFile(FileId id, DeviceId target)
     src.release(f.sizeBytes);
     f.location = target;
     result.moved = true;
+    result.bytesCopied = f.sizeBytes;
     migratedBytes_ += f.sizeBytes;
     ++migrationCount_;
 
@@ -206,29 +295,74 @@ StorageSystem::moveFileChunked(FileId id, DeviceId target,
     result.to = target;
     result.bytes = f.sizeBytes;
 
+    if (injector_)
+        injector_->advanceTo(clock_.now());
     if (target >= devices_.size()) {
         warn("moveFileChunked: target device %u does not exist", target);
+        result.reason = MoveFail::NoSuchDevice;
         return result;
     }
-    if (target == f.location)
+    if (target == f.location) {
+        result.reason = MoveFail::SameDevice;
         return result;
+    }
 
     StorageDevice &src = device(f.location);
     StorageDevice &dst = device(target);
+    if (!src.available() || !dst.available()) {
+        result.failed = true;
+        result.reason = src.available() ? MoveFail::TargetOffline
+                                        : MoveFail::SourceOffline;
+        ++abortedMoves_;
+        return result;
+    }
     if (!dst.writable()) {
         warn("moveFileChunked: device %s is not writable",
              dst.name().c_str());
+        result.reason = MoveFail::NotWritable;
         return result;
     }
-    if (!dst.reserve(f.sizeBytes))
+    if (!dst.reserve(f.sizeBytes)) {
+        result.reason = MoveFail::CapacityFull;
         return result;
+    }
 
     // Each chunk is priced at the effective bandwidth when it begins,
     // so a contention episode arriving mid-move lengthens only the
-    // remaining chunks.
+    // remaining chunks — and a fault arriving mid-move aborts the
+    // transfer partway, with the bytes already copied wasted (busy
+    // time on both devices is still paid).
     uint64_t remaining = f.sizeBytes;
     double chunk_start = clock_.now();
     while (remaining > 0) {
+        if (injector_)
+            injector_->advanceTo(chunk_start);
+        MoveFail abort = MoveFail::None;
+        if (!src.available())
+            abort = MoveFail::SourceOffline;
+        else if (!dst.available())
+            abort = MoveFail::TargetOffline;
+        else if (injector_ && (injector_->shouldFailAccess(src.id()) ||
+                               injector_->shouldFailAccess(dst.id())))
+            abort = MoveFail::TransientFault;
+        if (abort != MoveFail::None) {
+            dst.release(f.sizeBytes);
+            result.failed = true;
+            result.reason = abort;
+            result.bytesCopied = f.sizeBytes - remaining;
+            ++abortedMoves_;
+            abortedBytes_ += result.bytesCopied;
+            if (!config_.backgroundMoves)
+                clock_.advance(result.seconds);
+            warn("moveFileChunked: move of file %llu to %s aborted "
+                 "after %llu/%llu bytes (%s)",
+                 static_cast<unsigned long long>(id),
+                 dst.name().c_str(),
+                 static_cast<unsigned long long>(result.bytesCopied),
+                 static_cast<unsigned long long>(f.sizeBytes),
+                 moveFailName(abort));
+            return result;
+        }
         uint64_t chunk = std::min(remaining, chunk_bytes);
         double bw = std::min({src.effectiveBandwidth(true, chunk_start),
                               dst.effectiveBandwidth(false, chunk_start),
@@ -246,6 +380,7 @@ StorageSystem::moveFileChunked(FileId id, DeviceId target,
     src.release(f.sizeBytes);
     f.location = target;
     result.moved = true;
+    result.bytesCopied = f.sizeBytes;
     migratedBytes_ += f.sizeBytes;
     ++migrationCount_;
 

@@ -26,6 +26,8 @@
 namespace geo {
 namespace storage {
 
+class FaultInjector;
+
 /** Integer id of a file within a StorageSystem. */
 using FileId = uint64_t;
 
@@ -48,18 +50,44 @@ struct AccessObservation
     double startTime = 0.0; ///< seconds
     double endTime = 0.0;   ///< seconds
     double throughput = 0.0; ///< bytes/s
+    bool failed = false;     ///< the access errored (zero throughput)
 
     double duration() const { return endTime - startTime; }
 };
+
+/** Why a migration did not complete. */
+enum class MoveFail {
+    None,           ///< the move succeeded
+    SameDevice,     ///< no-op: target is the current location
+    NoSuchDevice,   ///< target id out of range
+    NotWritable,    ///< target mount is read-only
+    CapacityFull,   ///< target lacks free capacity
+    SourceOffline,  ///< source device unavailable (data unreachable)
+    TargetOffline,  ///< target device unavailable
+    TransientFault, ///< injected I/O error aborted the transfer
+};
+
+/** Printable name of a move-failure reason. */
+const char *moveFailName(MoveFail reason);
+
+/** Whether a failure reason is fault-class (worth retrying) rather
+ *  than validity-class (the request itself was invalid). */
+bool moveFailRetryable(MoveFail reason);
 
 /** Result of a file migration. */
 struct MoveResult
 {
     bool moved = false;      ///< false when src == dst or move invalid
+    /** The move was valid but a fault aborted it mid-transfer. */
+    bool failed = false;
     double seconds = 0.0;    ///< transfer duration charged to the clock
     uint64_t bytes = 0;
+    /** Bytes copied before a fault aborted the transfer (the wasted
+     *  work is still accounted as busy time on both devices). */
+    uint64_t bytesCopied = 0;
     DeviceId from = 0;
     DeviceId to = 0;
+    MoveFail reason = MoveFail::None;
 };
 
 /** System-wide configuration. */
@@ -157,6 +185,22 @@ class StorageSystem
     /** Number of successful migrations so far. */
     uint64_t migrationCount() const { return migrationCount_; }
 
+    /** Migrations aborted by faults so far. */
+    uint64_t abortedMoveCount() const { return abortedMoves_; }
+
+    /** Bytes copied by migrations that were then aborted (wasted). */
+    uint64_t abortedBytes() const { return abortedBytes_; }
+
+    /**
+     * Attach a fault injector: from now on the injector's schedule is
+     * re-evaluated before every access and migration chunk, and its
+     * transient-error stream can fail individual operations. Pass
+     * nullptr to detach. The injector must outlive the attachment.
+     */
+    void attachFaultInjector(FaultInjector *injector);
+
+    FaultInjector *faultInjector() { return injector_; }
+
     /** Register an observer called after every access. */
     void onAccess(std::function<void(const AccessObservation &)> observer);
 
@@ -174,8 +218,11 @@ class StorageSystem
     std::vector<StorageDevice> devices_;
     std::vector<FileObject> files_; ///< index = FileId
     SimClock clock_;
+    FaultInjector *injector_ = nullptr;
     uint64_t migratedBytes_ = 0;
     uint64_t migrationCount_ = 0;
+    uint64_t abortedMoves_ = 0;
+    uint64_t abortedBytes_ = 0;
     std::vector<std::function<void(const AccessObservation &)>>
         accessObservers_;
     std::vector<std::function<void(const MoveResult &)>> moveObservers_;

@@ -83,6 +83,72 @@ TEST(MonitoringAgent, RecordsCarryMeasuredThroughput)
     EXPECT_EQ(received[0].rb, 100u);
 }
 
+TEST(MonitoringAgent, BatchBoundaryIsExact)
+{
+    // Exactly batch_size observations forward exactly one batch, with
+    // nothing left pending: a flush right after is a no-op.
+    std::vector<size_t> batch_sizes;
+    MonitoringAgent agent(
+        0, [&](const std::vector<PerfRecord> &batch) {
+            batch_sizes.push_back(batch.size());
+        },
+        4);
+    for (int i = 0; i < 4; ++i)
+        agent.observe(obsOn(0));
+    EXPECT_EQ(batch_sizes, (std::vector<size_t>{4}));
+    agent.flush();
+    EXPECT_EQ(batch_sizes, (std::vector<size_t>{4}));
+    EXPECT_EQ(agent.batchesSent(), 1u);
+
+    // The next observation starts a fresh batch of one.
+    agent.observe(obsOn(0));
+    agent.flush();
+    EXPECT_EQ(batch_sizes, (std::vector<size_t>{4, 1}));
+}
+
+TEST(MonitoringAgent, FailedAccessObservedAsFailedRecord)
+{
+    // A fault-injected access must reach the ReplayDB as a failed,
+    // zero-throughput sample — that collapse is the training signal
+    // that drives files off a dying device.
+    std::vector<PerfRecord> received;
+    MonitoringAgent agent(
+        0, [&](const std::vector<PerfRecord> &batch) {
+            received = batch;
+        },
+        1);
+    storage::AccessObservation obs = obsOn(0, 7);
+    obs.failed = true;
+    obs.throughput = 0.0;
+    obs.readBytes = 0;
+    agent.observe(obs);
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_TRUE(received[0].failed);
+    EXPECT_DOUBLE_EQ(received[0].throughput, 0.0);
+    EXPECT_EQ(received[0].file, 7u);
+}
+
+TEST(MonitoringAgent, MixedOutcomesKeepOrderWithinBatch)
+{
+    std::vector<PerfRecord> received;
+    MonitoringAgent agent(
+        0, [&](const std::vector<PerfRecord> &batch) {
+            received = batch;
+        },
+        3);
+    storage::AccessObservation ok = obsOn(0, 1);
+    storage::AccessObservation bad = obsOn(0, 2);
+    bad.failed = true;
+    bad.throughput = 0.0;
+    agent.observe(ok);
+    agent.observe(bad);
+    agent.observe(ok);
+    ASSERT_EQ(received.size(), 3u);
+    EXPECT_FALSE(received[0].failed);
+    EXPECT_TRUE(received[1].failed);
+    EXPECT_FALSE(received[2].failed);
+}
+
 TEST(MonitoringAgentDeathTest, InvalidConstruction)
 {
     EXPECT_DEATH(MonitoringAgent(0, nullptr, 1), "sink");

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure a dedicated build tree with AddressSanitizer +
+# UndefinedBehaviorSanitizer, build everything, and run the tier-1 test
+# suite under it.  Intended as a pre-merge check; the regular build tree
+# (build/) is left untouched.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configuring sanitizer build in ${build_dir} =="
+cmake -S "${repo_root}" -B "${build_dir}" \
+    -DGEO_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== building (${jobs} jobs) =="
+cmake --build "${build_dir}" -j "${jobs}"
+
+echo "== running tier-1 tests under ASan/UBSan =="
+# halt_on_error makes UBSan findings fail the test instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+echo "== check.sh: all tests passed under address;undefined =="
