@@ -89,15 +89,22 @@ main()
         TextTable table("A. exploration rate (under a contention shift)");
         table.setHeader({"explorationRate", "avg throughput (GB/s)",
                          "files moved"});
-        for (double rate : {0.0, 0.41}) {
+        const std::vector<double> rates = {0.0, 0.41};
+        std::vector<std::future<core::ExperimentResult>> ran;
+        for (double rate : rates) {
             core::GeomancyConfig config = bench::benchGeomancyConfig();
             config.explorationRate = rate;
-            core::ExperimentResult result =
-                runGeomancy(config, 5, runs, /*disturb=*/true);
-            table.addRow({TextTable::num(rate, 2),
+            ran.push_back(util::ThreadPool::global().submit(
+                [config, runs]() {
+                    return runGeomancy(config, 5, runs, /*disturb=*/true);
+                }));
+        }
+        for (size_t i = 0; i < rates.size(); ++i) {
+            core::ExperimentResult result = ran[i].get();
+            table.addRow({TextTable::num(rates[i], 2),
                           bench::gbps(result.averageThroughput),
                           std::to_string(result.filesMoved)});
-            std::cerr << "A: rate " << rate << " done\n";
+            std::cerr << "A: rate " << rates[i] << " done\n";
         }
         table.print(std::cout);
         std::cout << "\n";
@@ -108,17 +115,25 @@ main()
         TextTable table("B. decision cadence (runs between moves)");
         table.setHeader({"cadence", "avg throughput (GB/s)",
                          "files moved", "GB moved"});
-        for (size_t cadence : {1u, 5u, 20u}) {
-            core::ExperimentResult result = runGeomancy(
-                bench::benchGeomancyConfig(), cadence, runs);
-            table.addRow({std::to_string(cadence),
+        const std::vector<size_t> cadences = {1, 5, 20};
+        std::vector<std::future<core::ExperimentResult>> ran;
+        for (size_t cadence : cadences) {
+            ran.push_back(util::ThreadPool::global().submit(
+                [cadence, runs]() {
+                    return runGeomancy(bench::benchGeomancyConfig(),
+                                       cadence, runs);
+                }));
+        }
+        for (size_t i = 0; i < cadences.size(); ++i) {
+            core::ExperimentResult result = ran[i].get();
+            table.addRow({std::to_string(cadences[i]),
                           bench::gbps(result.averageThroughput),
                           std::to_string(result.filesMoved),
                           TextTable::num(
                               static_cast<double>(result.bytesMoved) /
                                   1e9,
                               1)});
-            std::cerr << "B: cadence " << cadence << " done\n";
+            std::cerr << "B: cadence " << cadences[i] << " done\n";
         }
         table.print(std::cout);
         std::cout << "\n";
@@ -182,13 +197,21 @@ main()
             size_t sanity;
             size_t cap;
         };
-        for (const Case &c :
-             {Case{4000, 3}, Case{0, 3}, Case{4000, 0}, Case{0, 0}}) {
+        const std::vector<Case> cases = {
+            {4000, 3}, {0, 3}, {4000, 0}, {0, 0}};
+        std::vector<std::future<core::ExperimentResult>> ran;
+        for (const Case &c : cases) {
             core::GeomancyConfig config = bench::benchGeomancyConfig();
             config.sanityWindow = c.sanity;
             config.checker.maxMovesPerTarget = c.cap;
-            core::ExperimentResult result =
-                runGeomancy(config, 5, runs, /*disturb=*/true);
+            ran.push_back(util::ThreadPool::global().submit(
+                [config, runs]() {
+                    return runGeomancy(config, 5, runs, /*disturb=*/true);
+                }));
+        }
+        for (size_t i = 0; i < cases.size(); ++i) {
+            const Case &c = cases[i];
+            core::ExperimentResult result = ran[i].get();
             table.addRow({c.sanity ? "on" : "off",
                           c.cap ? "on" : "off",
                           bench::gbps(result.averageThroughput)});

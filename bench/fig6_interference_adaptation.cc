@@ -9,11 +9,13 @@
  * Geomancy reacts, while the untuned duplicate stays lower.
  */
 
+#include <future>
 #include <iostream>
 #include <memory>
 
 #include "experiment_common.hh"
 #include "util/ascii_chart.hh"
+#include "util/thread_pool.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "workload/interference.hh"
@@ -154,10 +156,17 @@ main()
         return scenario;
     };
 
+    // The adaptive run and the frozen counterfactual are independent
+    // simulations over the same seed; run them concurrently.
     StatAccumulator other_stats;
-    ScenarioResult adaptive = run_scenario(false, &other_stats);
+    util::ThreadPool &pool = util::ThreadPool::global();
+    std::future<ScenarioResult> adaptive_future = pool.submit(
+        [&]() { return run_scenario(false, &other_stats); });
+    std::future<ScenarioResult> frozen_future =
+        pool.submit([&]() { return run_scenario(true, nullptr); });
+    ScenarioResult adaptive = adaptive_future.get();
     std::cerr << "finished adaptive run\n";
-    ScenarioResult frozen = run_scenario(true, nullptr);
+    ScenarioResult frozen = frozen_future.get();
     std::cerr << "finished frozen counterfactual\n";
 
     TextTable table("Tuned workload throughput around the disturbance");

@@ -9,6 +9,7 @@
 #define GEO_BENCH_MODEL_SEARCH_COMMON_HH
 
 #include <chrono>
+#include <future>
 #include <map>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "trace/normalizer.hh"
 #include "util/smoothing.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 #include "workload/belle2.hh"
 
 namespace geo {
@@ -134,11 +136,14 @@ struct ModelScore
 /**
  * Average scoreModel() over several seeds: individual SGD runs on
  * this data are noisy, and the paper's ranking claims are about the
- * architecture, not one initialization.
+ * architecture, not one initialization. Seed trials run as thread
+ * pool tasks (`pool`, or the global pool when null) and are combined
+ * in seed order, so the averages are worker-count independent.
  */
 ModelScore scoreModelAveraged(int number,
                               const std::vector<core::PerfRecord> &records,
-                              size_t epochs, uint64_t seed, size_t seeds);
+                              size_t epochs, uint64_t seed, size_t seeds,
+                              util::ThreadPool *pool = nullptr);
 
 /**
  * Train Table I model `number` on `records` and score it on the
@@ -200,13 +205,23 @@ scoreModel(int number, const std::vector<core::PerfRecord> &records,
 inline ModelScore
 scoreModelAveraged(int number,
                    const std::vector<core::PerfRecord> &records,
-                   size_t epochs, uint64_t seed, size_t seeds)
+                   size_t epochs, uint64_t seed, size_t seeds,
+                   util::ThreadPool *pool)
 {
+    util::ThreadPool &workers =
+        pool != nullptr ? *pool : util::ThreadPool::global();
+    std::vector<std::future<ModelScore>> trials;
+    trials.reserve(seeds);
+    for (size_t s = 0; s < seeds; ++s) {
+        trials.push_back(workers.submit([number, &records, epochs, seed,
+                                         s]() -> ModelScore {
+            return scoreModel(number, records, epochs, seed + s * 7919);
+        }));
+    }
     ModelScore averaged;
     size_t healthy = 0;
     for (size_t s = 0; s < seeds; ++s) {
-        ModelScore one =
-            scoreModel(number, records, epochs, seed + s * 7919);
+        ModelScore one = trials[s].get();
         averaged.trainSeconds += one.trainSeconds / seeds;
         if (one.diverged)
             continue;

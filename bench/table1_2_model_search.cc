@@ -64,10 +64,22 @@ main()
                       "Prediction (ms)"});
     double best_error = 1e18;
     int best_model = 0;
+    // Fan the 23 architectures out across the pool; each task's seed
+    // trials run inline on its worker, so results stay deterministic
+    // and rows print in model order regardless of completion order.
+    const size_t seeds = bench::knob("GEO_SEEDS", 3, 5);
+    util::ThreadPool &pool = util::ThreadPool::global();
+    std::vector<std::future<bench::ModelScore>> scored;
+    scored.reserve(nn::kModelZooSize);
     for (int number = 1; number <= nn::kModelZooSize; ++number) {
-        bench::ModelScore score = bench::scoreModelAveraged(
-            number, people, epochs, 1000 + static_cast<uint64_t>(number),
-            bench::knob("GEO_SEEDS", 3, 5));
+        scored.push_back(pool.submit([number, &people, epochs, seeds]() {
+            return bench::scoreModelAveraged(
+                number, people, epochs,
+                1000 + static_cast<uint64_t>(number), seeds);
+        }));
+    }
+    for (int number = 1; number <= nn::kModelZooSize; ++number) {
+        bench::ModelScore score = scored[number - 1].get();
         if (score.diverged) {
             table2.addRow({std::to_string(number), "Diverged",
                            TextTable::num(score.trainSeconds, 3), "-"});

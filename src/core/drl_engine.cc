@@ -1,5 +1,6 @@
 #include "core/drl_engine.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -83,50 +84,97 @@ DrlEngine::predictThroughput(const std::vector<double> &raw_features)
 {
     if (!ready_)
         panic("DrlEngine::predictThroughput before a successful retrain");
-    std::vector<double> normalized =
-        batch_.normalizeFeatures(raw_features);
-    nn::Matrix input = nn::Matrix::rowVector(normalized);
-    double predicted =
-        batch_.denormalizeTarget(model_.predict(input).at(0, 0));
-    if (adjustSign_ != 0.0)
-        predicted += adjustSign_ * maeFraction_ * predicted;
-    return predicted < 0.0 ? 0.0 : predicted;
+    rowScratch_.reshape(1, raw_features.size());
+    std::copy(raw_features.begin(), raw_features.end(),
+              rowScratch_.data().begin());
+    return predictBatch(rowScratch_)[0];
+}
+
+std::vector<double>
+DrlEngine::predictBatch(const nn::Matrix &raw_rows)
+{
+    if (!ready_)
+        panic("DrlEngine::predictBatch before a successful retrain");
+    const size_t rows = raw_rows.rows();
+    const size_t z = raw_rows.cols();
+    featureScratch_.reshape(rows, z);
+    for (size_t r = 0; r < rows; ++r)
+        batch_.normalizeFeaturesInto(raw_rows.data().data() + r * z, z,
+                                     featureScratch_.data().data() + r * z);
+    nn::Matrix outputs = model_.predict(featureScratch_);
+
+    std::vector<double> predicted(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        double value = batch_.denormalizeTarget(outputs.at(r, 0));
+        if (adjustSign_ != 0.0)
+            value += adjustSign_ * maeFraction_ * value;
+        predicted[r] = value < 0.0 ? 0.0 : value;
+    }
+    return predicted;
 }
 
 std::vector<CandidateScore>
 DrlEngine::scoreCandidates(const PerfRecord &latest,
                            const std::vector<storage::DeviceId> &devices)
 {
+    return scoreLocations(latest, devices);
+}
+
+std::vector<CandidateScore>
+DrlEngine::scoreLocations(const PerfRecord &latest,
+                          const std::vector<storage::DeviceId> &devices)
+{
+    std::vector<std::vector<CandidateScore>> all =
+        scoreLocations(std::vector<PerfRecord>{latest}, devices);
+    return std::move(all.front());
+}
+
+std::vector<std::vector<CandidateScore>>
+DrlEngine::scoreLocations(const std::vector<PerfRecord> &records,
+                          const std::vector<storage::DeviceId> &devices)
+{
     if (!ready_)
         panic("DrlEngine::scoreCandidates before a successful retrain");
     auto start = std::chrono::steady_clock::now();
 
-    // One batch, one row per candidate location (Section V-C).
-    nn::Matrix inputs(devices.size(), config_.featureCount);
-    for (size_t i = 0; i < devices.size(); ++i) {
-        std::vector<double> row =
-            batch_.normalizeFeatures(latest.featuresAt(devices[i]));
-        for (size_t c = 0; c < row.size(); ++c)
-            inputs.at(i, c) = row[c];
+    // One batch across all files: a row per (file, candidate) pair
+    // with only the location column varying per file (Section V-C).
+    const size_t z = config_.featureCount;
+    featureScratch_.reshape(records.size() * devices.size(), z);
+    size_t row = 0;
+    for (const PerfRecord &rec : records) {
+        for (storage::DeviceId device : devices) {
+            std::vector<double> raw = rec.featuresAt(device);
+            batch_.normalizeFeaturesInto(
+                raw.data(), raw.size(),
+                featureScratch_.data().data() + row * z);
+            ++row;
+        }
     }
-    nn::Matrix outputs = model_.predict(inputs);
+    nn::Matrix outputs = model_.predict(featureScratch_);
 
-    std::vector<CandidateScore> scores;
-    scores.reserve(devices.size());
-    for (size_t i = 0; i < devices.size(); ++i) {
-        CandidateScore score;
-        score.device = devices[i];
-        double predicted = batch_.denormalizeTarget(outputs.at(i, 0));
-        if (adjustSign_ != 0.0)
-            predicted += adjustSign_ * maeFraction_ * predicted;
-        score.predictedThroughput = predicted < 0.0 ? 0.0 : predicted;
-        scores.push_back(score);
+    std::vector<std::vector<CandidateScore>> all;
+    all.reserve(records.size());
+    row = 0;
+    for (size_t f = 0; f < records.size(); ++f) {
+        std::vector<CandidateScore> scores;
+        scores.reserve(devices.size());
+        for (size_t d = 0; d < devices.size(); ++d, ++row) {
+            CandidateScore score;
+            score.device = devices[d];
+            double predicted = batch_.denormalizeTarget(outputs.at(row, 0));
+            if (adjustSign_ != 0.0)
+                predicted += adjustSign_ * maeFraction_ * predicted;
+            score.predictedThroughput = predicted < 0.0 ? 0.0 : predicted;
+            scores.push_back(score);
+        }
+        all.push_back(std::move(scores));
     }
 
     auto elapsed = std::chrono::steady_clock::now() - start;
     lastPredictMs_ =
         std::chrono::duration<double, std::milli>(elapsed).count();
-    return scores;
+    return all;
 }
 
 } // namespace core

@@ -80,9 +80,19 @@ class DrlEngine
 
     /**
      * Predicted throughput (bytes/s) for a raw Z-feature row,
-     * MAE-adjusted when configured.
+     * MAE-adjusted when configured. Thin shim over predictBatch()
+     * sharing its preallocated row buffer.
      */
     double predictThroughput(const std::vector<double> &raw_features);
+
+    /**
+     * Predict raw targets for a batch of raw Z-feature rows in ONE
+     * forward pass: result[r] is bitwise equal to
+     * predictThroughput(row r) — normalization, the Sec. V-G MAE
+     * adjustment and the >= 0 clamp are applied per row in the same
+     * order as the scalar path.
+     */
+    std::vector<double> predictBatch(const nn::Matrix &raw_rows);
 
     /**
      * Score every candidate location for the access pattern described
@@ -92,6 +102,21 @@ class DrlEngine
      */
     std::vector<CandidateScore> scoreCandidates(
         const PerfRecord &latest,
+        const std::vector<storage::DeviceId> &devices);
+
+    /** Single-file alias of the batched scoreLocations() below. */
+    std::vector<CandidateScore> scoreLocations(
+        const PerfRecord &latest,
+        const std::vector<storage::DeviceId> &devices);
+
+    /**
+     * Batched Section V-C scoring: one feature matrix with
+     * records.size() * devices.size() rows and a single forward pass.
+     * result[f][d] is bitwise equal to
+     * scoreCandidates(records[f], devices)[d].
+     */
+    std::vector<std::vector<CandidateScore>> scoreLocations(
+        const std::vector<PerfRecord> &records,
         const std::vector<storage::DeviceId> &devices);
 
     /** Millisecond cost of the last prediction batch (wall clock). */
@@ -126,6 +151,10 @@ class DrlEngine
     double adjustSign_ = 0.0;   ///< +1 raise, -1 lower, 0 no adjustment
     ModelTarget targetKind_ = ModelTarget::Throughput;
     double lastPredictMs_ = 0.0;
+
+    // Preallocated batch buffers, reused across prediction calls.
+    nn::Matrix rowScratch_;     ///< 1 x Z raw row for the scalar shim
+    nn::Matrix featureScratch_; ///< (F * D) x Z normalized batch
 };
 
 } // namespace core

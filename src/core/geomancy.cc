@@ -63,16 +63,29 @@ Geomancy::proposeMoves()
         }
     }
 
-    std::vector<CheckedMove> moves;
+    // Gather every scorable file's latest access, then score all
+    // (file, candidate) pairs in a single forward pass.
     std::vector<storage::DeviceId> devices = system_.deviceIds();
+    std::vector<storage::FileId> scorable;
+    std::vector<PerfRecord> latests;
+    scorable.reserve(managedFiles_.size());
+    latests.reserve(managedFiles_.size());
     for (storage::FileId file : managedFiles_) {
         PerfRecord latest;
         if (!db_->latestAccessForFile(file, latest))
             continue; // never accessed yet, nothing to reason from
-        std::vector<CandidateScore> scores =
-            engine_->scoreCandidates(latest, devices);
+        scorable.push_back(file);
+        latests.push_back(std::move(latest));
+    }
+    std::vector<std::vector<CandidateScore>> all_scores;
+    if (!latests.empty())
+        all_scores = engine_->scoreLocations(latests, devices);
+
+    std::vector<CheckedMove> moves;
+    for (size_t i = 0; i < scorable.size(); ++i) {
+        storage::FileId file = scorable[i];
         std::optional<CheckedMove> move = checker_->selectMove(
-            file, scores, rng_, engine_->lowerIsBetter());
+            file, all_scores[i], rng_, engine_->lowerIsBetter());
         if (!move)
             continue;
         if (!move->random && config_.sanityWindow > 0) {

@@ -22,6 +22,21 @@ TrainingBatch::normalizeFeatures(const std::vector<double> &raw) const
     return out;
 }
 
+void
+TrainingBatch::normalizeFeaturesInto(const double *raw, size_t count,
+                                     double *out) const
+{
+    if (!featureNorm.fitted()) {
+        std::copy(raw, raw + count, out);
+        return;
+    }
+    if (count != featureNorm.columns())
+        panic("normalizeFeatures: %zu values, scaler has %zu columns",
+              count, featureNorm.columns());
+    for (size_t c = 0; c < count; ++c)
+        out[c] = featureNorm.value(raw[c], c);
+}
+
 double
 TrainingBatch::denormalizeTarget(double normalized) const
 {

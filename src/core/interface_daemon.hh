@@ -55,6 +55,14 @@ struct TrainingBatch
     std::vector<double> normalizeFeatures(
         const std::vector<double> &raw) const;
 
+    /**
+     * Normalize a raw Z-feature row directly into `out` (at least
+     * `count` doubles). Allocation-free variant used by the batched
+     * prediction path; `raw` and `out` may alias.
+     */
+    void normalizeFeaturesInto(const double *raw, size_t count,
+                               double *out) const;
+
     /** Denormalize a model output back to bytes/s. */
     double denormalizeTarget(double normalized) const;
 };

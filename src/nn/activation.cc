@@ -81,6 +81,28 @@ applyActivation(Activation act, const Matrix &input)
     return input.map([act](double x) { return activate(act, x); });
 }
 
+void
+applyActivationInPlace(Activation act, Matrix &values)
+{
+    switch (act) {
+      case Activation::Linear:
+        return;
+      case Activation::ReLU:
+        for (double &x : values.data())
+            x = x > 0.0 ? x : 0.0;
+        return;
+      case Activation::Sigmoid:
+        for (double &x : values.data())
+            x = 1.0 / (1.0 + std::exp(-x));
+        return;
+      case Activation::Tanh:
+        for (double &x : values.data())
+            x = std::tanh(x);
+        return;
+    }
+    panic("unknown activation %d", static_cast<int>(act));
+}
+
 Matrix
 activationDerivative(Activation act, const Matrix &pre_activation)
 {

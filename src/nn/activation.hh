@@ -34,6 +34,9 @@ Activation activationFromName(const std::string &name);
 /** Apply the activation elementwise. */
 Matrix applyActivation(Activation act, const Matrix &input);
 
+/** Apply the activation in place (no temporary matrix). */
+void applyActivationInPlace(Activation act, Matrix &values);
+
 /**
  * Elementwise derivative evaluated from the *pre-activation* values.
  *

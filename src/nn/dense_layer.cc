@@ -27,12 +27,16 @@ DenseLayer::forward(const Matrix &input, bool training)
     if (input.cols() != weights_.rows())
         panic("DenseLayer::forward: input width %zu != %zu", input.cols(),
               weights_.rows());
-    Matrix pre = input.matmul(weights_).addRowBroadcast(bias_);
+    // One allocation (the returned matrix); bias and activation are
+    // applied in place instead of materializing intermediates.
+    Matrix pre = input.matmul(weights_);
+    pre.addRowBroadcastInPlace(bias_);
     if (training) {
         cachedInput_ = input;
         cachedPreAct_ = pre;
     }
-    return applyActivation(act_, pre);
+    applyActivationInPlace(act_, pre);
+    return pre;
 }
 
 Matrix
@@ -40,11 +44,12 @@ DenseLayer::backward(const Matrix &grad_output)
 {
     if (cachedInput_.empty())
         panic("DenseLayer::backward without a training forward pass");
-    Matrix grad_pre =
-        grad_output.hadamard(activationDerivative(act_, cachedPreAct_));
-    gradWeights_ += cachedInput_.transposed().matmul(grad_pre);
+    Matrix grad_pre = activationDerivative(act_, cachedPreAct_);
+    grad_pre.hadamardInPlace(grad_output);
+    cachedInput_.transposedMatmulInto(grad_pre, gradScratch_);
+    gradWeights_ += gradScratch_;
     gradBias_ += grad_pre.columnSums();
-    return grad_pre.matmul(weights_.transposed());
+    return grad_pre.matmulTransposed(weights_);
 }
 
 std::vector<Matrix *>

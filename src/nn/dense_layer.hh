@@ -57,6 +57,9 @@ class DenseLayer : public Layer
     // forward() caches for backward().
     Matrix cachedInput_;
     Matrix cachedPreAct_;
+
+    // Reused weight-gradient scratch (kills per-batch allocations).
+    Matrix gradScratch_;
 };
 
 } // namespace nn

@@ -48,18 +48,35 @@ GruLayer::forward(const Matrix &input, bool training)
     }
     for (size_t t = 0; t < timesteps_; ++t) {
         Matrix xt = input.colRange(t * features_, (t + 1) * features_);
-        Matrix u = applyActivation(
-            Activation::Sigmoid,
-            (xt.matmul(wu_) + h.matmul(ru_)).addRowBroadcast(bu_));
-        Matrix r = applyActivation(
-            Activation::Sigmoid,
-            (xt.matmul(wr_) + h.matmul(rr_)).addRowBroadcast(br_));
+        // Gate pre-activations share one scratch matrix for the
+        // recurrent product; bias and activation are applied in place.
+        Matrix u = xt.matmul(wu_);
+        h.matmulInto(ru_, gateScratch_);
+        u += gateScratch_;
+        u.addRowBroadcastInPlace(bu_);
+        applyActivationInPlace(Activation::Sigmoid, u);
+
+        Matrix r = xt.matmul(wr_);
+        h.matmulInto(rr_, gateScratch_);
+        r += gateScratch_;
+        r.addRowBroadcastInPlace(br_);
+        applyActivationInPlace(Activation::Sigmoid, r);
+
         Matrix rh = r.hadamard(h);
-        Matrix n_pre = (xt.matmul(wn_) + rh.matmul(rn_)).addRowBroadcast(bn_);
-        Matrix n = applyActivation(act_, n_pre);
-        // h_t = (1 - u) . h_prev + u . n
-        Matrix one_minus_u = u.map([](double v) { return 1.0 - v; });
-        Matrix h_next = one_minus_u.hadamard(h) + u.hadamard(n);
+        Matrix n_pre = xt.matmul(wn_);
+        rh.matmulInto(rn_, gateScratch_);
+        n_pre += gateScratch_;
+        n_pre.addRowBroadcastInPlace(bn_);
+        Matrix n = n_pre;
+        applyActivationInPlace(act_, n);
+
+        // h_t = (1 - u) . h_prev + u . n, fused into one pass.
+        Matrix h_next(batch, hidden_);
+        for (size_t idx = 0; idx < h_next.size(); ++idx) {
+            double uv = u.data()[idx];
+            h_next.data()[idx] =
+                (1.0 - uv) * h.data()[idx] + uv * n.data()[idx];
+        }
         if (training) {
             StepCache sc;
             sc.x = std::move(xt);
@@ -85,45 +102,63 @@ GruLayer::backward(const Matrix &grad_output)
     Matrix grad_input(batch, inputSize());
     Matrix dh = grad_output;
 
-    auto sigmoid_grad = [](const Matrix &s) {
-        return s.map([](double v) { return v * (1.0 - v); });
-    };
-
     for (size_t t = timesteps_; t-- > 0;) {
         const StepCache &sc = cache_[t];
 
-        // h_t = (1 - u) . h_prev + u . n
-        Matrix d_u = dh.hadamard(sc.n - sc.hPrev);
-        Matrix d_n = dh.hadamard(sc.u);
-        Matrix dh_prev =
-            dh.hadamard(sc.u.map([](double v) { return 1.0 - v; }));
+        // h_t = (1 - u) . h_prev + u . n — the elementwise chains are
+        // fused into single passes (same per-element expressions and
+        // evaluation order as the unfused matrices they replace).
+        Matrix d_u_pre(batch, hidden_);
+        Matrix d_n_pre(batch, hidden_);
+        Matrix dh_prev(batch, hidden_);
+        for (size_t idx = 0; idx < dh.size(); ++idx) {
+            double dhv = dh.data()[idx];
+            double uv = sc.u.data()[idx];
+            d_u_pre.data()[idx] =
+                (dhv * (sc.n.data()[idx] - sc.hPrev.data()[idx])) *
+                (uv * (1.0 - uv));
+            d_n_pre.data()[idx] =
+                (dhv * uv) *
+                activateDerivative(act_, sc.nPre.data()[idx]);
+            dh_prev.data()[idx] = dhv * (1.0 - uv);
+        }
 
-        Matrix d_n_pre = d_n.hadamard(activationDerivative(act_, sc.nPre));
-        Matrix d_rh = d_n_pre.matmul(rn_.transposed());
-        Matrix d_r = d_rh.hadamard(sc.hPrev);
-        dh_prev += d_rh.hadamard(sc.r);
+        Matrix d_rh = d_n_pre.matmulTransposed(rn_);
+        Matrix d_r_pre(batch, hidden_);
+        for (size_t idx = 0; idx < d_rh.size(); ++idx) {
+            double rv = sc.r.data()[idx];
+            d_r_pre.data()[idx] =
+                (d_rh.data()[idx] * sc.hPrev.data()[idx]) *
+                (rv * (1.0 - rv));
+            dh_prev.data()[idx] += d_rh.data()[idx] * rv;
+        }
 
-        Matrix d_u_pre = d_u.hadamard(sigmoid_grad(sc.u));
-        Matrix d_r_pre = d_r.hadamard(sigmoid_grad(sc.r));
-
-        Matrix x_t = sc.x.transposed();
-        Matrix h_prev_t = sc.hPrev.transposed();
-        gradWu_ += x_t.matmul(d_u_pre);
-        gradWr_ += x_t.matmul(d_r_pre);
-        gradWn_ += x_t.matmul(d_n_pre);
-        gradRu_ += h_prev_t.matmul(d_u_pre);
-        gradRr_ += h_prev_t.matmul(d_r_pre);
-        gradRn_ += sc.rh.transposed().matmul(d_n_pre);
+        sc.x.transposedMatmulInto(d_u_pre, scratchW_);
+        gradWu_ += scratchW_;
+        sc.x.transposedMatmulInto(d_r_pre, scratchW_);
+        gradWr_ += scratchW_;
+        sc.x.transposedMatmulInto(d_n_pre, scratchW_);
+        gradWn_ += scratchW_;
+        sc.hPrev.transposedMatmulInto(d_u_pre, scratchR_);
+        gradRu_ += scratchR_;
+        sc.hPrev.transposedMatmulInto(d_r_pre, scratchR_);
+        gradRr_ += scratchR_;
+        sc.rh.transposedMatmulInto(d_n_pre, scratchR_);
+        gradRn_ += scratchR_;
         gradBu_ += d_u_pre.columnSums();
         gradBr_ += d_r_pre.columnSums();
         gradBn_ += d_n_pre.columnSums();
 
-        dh_prev += d_u_pre.matmul(ru_.transposed());
-        dh_prev += d_r_pre.matmul(rr_.transposed());
+        d_u_pre.matmulTransposedInto(ru_, scratchH_);
+        dh_prev += scratchH_;
+        d_r_pre.matmulTransposedInto(rr_, scratchH_);
+        dh_prev += scratchH_;
 
-        Matrix dx = d_u_pre.matmul(wu_.transposed());
-        dx += d_r_pre.matmul(wr_.transposed());
-        dx += d_n_pre.matmul(wn_.transposed());
+        Matrix dx = d_u_pre.matmulTransposed(wu_);
+        d_r_pre.matmulTransposedInto(wr_, scratchX_);
+        dx += scratchX_;
+        d_n_pre.matmulTransposedInto(wn_, scratchX_);
+        dx += scratchX_;
         grad_input.setBlock(0, t * features_, dx);
 
         dh = std::move(dh_prev);

@@ -68,6 +68,13 @@ class GruLayer : public Layer
     Matrix gradBu_, gradBr_, gradBn_;
 
     std::vector<StepCache> cache_;
+
+    // Reused scratch buffers (per-step allocation churn killers).
+    Matrix gateScratch_; ///< batch x hidden recurrent product
+    Matrix scratchW_;    ///< features x hidden weight gradient
+    Matrix scratchR_;    ///< hidden x hidden recurrent gradient
+    Matrix scratchH_;    ///< batch x hidden hidden-grad product
+    Matrix scratchX_;    ///< batch x features input-grad product
 };
 
 } // namespace nn

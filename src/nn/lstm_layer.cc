@@ -58,16 +58,26 @@ LstmLayer::forward(const Matrix &input, bool training)
     for (size_t t = 0; t < timesteps_; ++t) {
         Matrix xt = input.colRange(t * features_, (t + 1) * features_);
         Matrix z = concat(h, xt);
-        Matrix i = applyActivation(Activation::Sigmoid,
-                                   z.matmul(wi_).addRowBroadcast(bi_));
-        Matrix f = applyActivation(Activation::Sigmoid,
-                                   z.matmul(wf_).addRowBroadcast(bf_));
-        Matrix o = applyActivation(Activation::Sigmoid,
-                                   z.matmul(wo_).addRowBroadcast(bo_));
-        Matrix g_pre = z.matmul(wg_).addRowBroadcast(bg_);
-        Matrix g = applyActivation(act_, g_pre);
-        Matrix c_next = f.hadamard(c) + i.hadamard(g);
-        Matrix c_act = applyActivation(act_, c_next);
+        Matrix i = z.matmul(wi_);
+        i.addRowBroadcastInPlace(bi_);
+        applyActivationInPlace(Activation::Sigmoid, i);
+        Matrix f = z.matmul(wf_);
+        f.addRowBroadcastInPlace(bf_);
+        applyActivationInPlace(Activation::Sigmoid, f);
+        Matrix o = z.matmul(wo_);
+        o.addRowBroadcastInPlace(bo_);
+        applyActivationInPlace(Activation::Sigmoid, o);
+        Matrix g_pre = z.matmul(wg_);
+        g_pre.addRowBroadcastInPlace(bg_);
+        Matrix g = g_pre;
+        applyActivationInPlace(act_, g);
+        // c_t = f . c_{t-1} + i . g, fused into one pass.
+        Matrix c_next(batch, hidden_);
+        for (size_t idx = 0; idx < c_next.size(); ++idx)
+            c_next.data()[idx] = f.data()[idx] * c.data()[idx] +
+                                 i.data()[idx] * g.data()[idx];
+        Matrix c_act = c_next;
+        applyActivationInPlace(act_, c_act);
         Matrix h_next = o.hadamard(c_act);
         if (training) {
             StepCache sc;
@@ -98,44 +108,59 @@ LstmLayer::backward(const Matrix &grad_output)
     Matrix dh = grad_output;
     Matrix dc(batch, hidden_);
 
-    auto sigmoid_grad = [](const Matrix &s) {
-        return s.map([](double v) { return v * (1.0 - v); });
-    };
-
     for (size_t t = timesteps_; t-- > 0;) {
         const StepCache &sc = cache_[t];
         const Matrix &c_prev = (t == 0) ? cachedCPrev0_ : cache_[t - 1].c;
 
-        // h_t = o . act(c_t)
-        Matrix d_o = dh.hadamard(sc.cAct);
-        dc += dh.hadamard(sc.o).hadamard(
-            activationDerivative(act_, sc.cActPre));
+        // h_t = o . act(c_t); c_t = f . c_{t-1} + i . g. The
+        // elementwise gate chains are fused into one pass with the
+        // same per-element expressions the unfused matrices computed.
+        Matrix d_i_pre(batch, hidden_);
+        Matrix d_f_pre(batch, hidden_);
+        Matrix d_o_pre(batch, hidden_);
+        Matrix d_g_pre(batch, hidden_);
+        Matrix dc_prev(batch, hidden_);
+        for (size_t idx = 0; idx < dh.size(); ++idx) {
+            double dhv = dh.data()[idx];
+            double iv = sc.i.data()[idx];
+            double fv = sc.f.data()[idx];
+            double ov = sc.o.data()[idx];
+            double d_o = dhv * sc.cAct.data()[idx];
+            dc.data()[idx] +=
+                (dhv * ov) *
+                activateDerivative(act_, sc.cActPre.data()[idx]);
+            double dcv = dc.data()[idx];
+            d_i_pre.data()[idx] =
+                (dcv * sc.g.data()[idx]) * (iv * (1.0 - iv));
+            d_f_pre.data()[idx] =
+                (dcv * c_prev.data()[idx]) * (fv * (1.0 - fv));
+            d_o_pre.data()[idx] = d_o * (ov * (1.0 - ov));
+            d_g_pre.data()[idx] =
+                (dcv * iv) *
+                activateDerivative(act_, sc.gPre.data()[idx]);
+            dc_prev.data()[idx] = dcv * fv;
+        }
 
-        // c_t = f . c_{t-1} + i . g
-        Matrix d_i = dc.hadamard(sc.g);
-        Matrix d_g = dc.hadamard(sc.i);
-        Matrix d_f = dc.hadamard(c_prev);
-        Matrix dc_prev = dc.hadamard(sc.f);
-
-        Matrix d_i_pre = d_i.hadamard(sigmoid_grad(sc.i));
-        Matrix d_f_pre = d_f.hadamard(sigmoid_grad(sc.f));
-        Matrix d_o_pre = d_o.hadamard(sigmoid_grad(sc.o));
-        Matrix d_g_pre = d_g.hadamard(activationDerivative(act_, sc.gPre));
-
-        Matrix z_t = sc.z.transposed();
-        gradWi_ += z_t.matmul(d_i_pre);
-        gradWf_ += z_t.matmul(d_f_pre);
-        gradWo_ += z_t.matmul(d_o_pre);
-        gradWg_ += z_t.matmul(d_g_pre);
+        sc.z.transposedMatmulInto(d_i_pre, scratchW_);
+        gradWi_ += scratchW_;
+        sc.z.transposedMatmulInto(d_f_pre, scratchW_);
+        gradWf_ += scratchW_;
+        sc.z.transposedMatmulInto(d_o_pre, scratchW_);
+        gradWo_ += scratchW_;
+        sc.z.transposedMatmulInto(d_g_pre, scratchW_);
+        gradWg_ += scratchW_;
         gradBi_ += d_i_pre.columnSums();
         gradBf_ += d_f_pre.columnSums();
         gradBo_ += d_o_pre.columnSums();
         gradBg_ += d_g_pre.columnSums();
 
-        Matrix dz = d_i_pre.matmul(wi_.transposed());
-        dz += d_f_pre.matmul(wf_.transposed());
-        dz += d_o_pre.matmul(wo_.transposed());
-        dz += d_g_pre.matmul(wg_.transposed());
+        Matrix dz = d_i_pre.matmulTransposed(wi_);
+        d_f_pre.matmulTransposedInto(wf_, scratchZ_);
+        dz += scratchZ_;
+        d_o_pre.matmulTransposedInto(wo_, scratchZ_);
+        dz += scratchZ_;
+        d_g_pre.matmulTransposedInto(wg_, scratchZ_);
+        dz += scratchZ_;
 
         dh = dz.colRange(0, hidden_);
         grad_input.setBlock(0, t * features_,

@@ -71,6 +71,10 @@ class LstmLayer : public Layer
     std::vector<StepCache> cache_;
     Matrix cachedCPrev0_; ///< zero matrix kept for the t = 0 backward step
 
+    // Reused scratch buffers (per-step allocation churn killers).
+    Matrix scratchW_; ///< (hidden + features) x hidden weight gradient
+    Matrix scratchZ_; ///< batch x (hidden + features) input gradient
+
     /** Build [h_prev | x_t]. */
     Matrix concat(const Matrix &h_prev, const Matrix &x_t) const;
 };

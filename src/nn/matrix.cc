@@ -1,9 +1,11 @@
 #include "nn/matrix.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "util/thread_pool.hh"
 
 namespace geo {
 namespace nn {
@@ -42,31 +44,128 @@ Matrix::rowVector(const std::vector<double> &values)
     return m;
 }
 
-double &
-Matrix::at(size_t r, size_t c)
+void
+Matrix::panicOutOfRange(size_t r, size_t c) const
 {
-    if (r >= rows_ || c >= cols_)
-        panic("Matrix::at(%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
-    return data_[r * cols_ + c];
+    panic("Matrix::at(%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
 }
 
-double
-Matrix::at(size_t r, size_t c) const
+namespace {
+
+/** Rhs column-stripe width of the blocked matmul kernel. */
+constexpr size_t kColBlock = 256;
+
+/** Depth (k) panel height of the blocked matmul kernel. */
+constexpr size_t kDepthBlock = 128;
+
+/** Flops (2*m*k*n) below which parallel dispatch is not worth it. */
+constexpr double kParallelMinFlops = 8e6;
+
+/**
+ * Blocked ikj kernel over output rows [row_begin, row_end).
+ *
+ * Shapes that fit one block — every layer in the model zoo — take the
+ * plain ikj path. Larger shapes are blocked so a kDepthBlock x
+ * kColBlock panel of `b` stays cache-resident across rows. For every
+ * output element (i, j) the k index still runs 0..K-1 in ascending
+ * order (j-stripes regroup independent elements; k-panels are visited
+ * in ascending order and accumulate into the same out[i][j]), so the
+ * result is bit-identical to the naive ikj loop.
+ */
+// noinline: inlining into matmulInto discards the __restrict
+// qualification and the inner-loop bound spills to the stack.
+__attribute__((noinline)) void
+matmulRows(const double *__restrict a, const double *__restrict b,
+           double *__restrict out, size_t row_begin, size_t row_end,
+           size_t K, size_t N)
 {
-    if (r >= rows_ || c >= cols_)
-        panic("Matrix::at(%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
-    return data_[r * cols_ + c];
+    if (N <= kColBlock && K <= kDepthBlock) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+            const double *a_row = a + i * K;
+            double *out_row = out + i * N;
+            for (size_t k = 0; k < K; ++k) {
+                const double lhs = a_row[k];
+                if (lhs == 0.0)
+                    continue;
+                const double *b_row = b + k * N;
+                for (size_t j = 0; j < N; ++j)
+                    out_row[j] += lhs * b_row[j];
+            }
+        }
+        return;
+    }
+    for (size_t jj = 0; jj < N; jj += kColBlock) {
+        const size_t width = std::min(N - jj, kColBlock);
+        for (size_t kk = 0; kk < K; kk += kDepthBlock) {
+            const size_t k_end = std::min(K, kk + kDepthBlock);
+            for (size_t i = row_begin; i < row_end; ++i) {
+                const double *a_row = a + i * K;
+                double *out_row = out + i * N + jj;
+                for (size_t k = kk; k < k_end; ++k) {
+                    const double lhs = a_row[k];
+                    if (lhs == 0.0)
+                        continue;
+                    const double *b_row = b + k * N + jj;
+                    for (size_t j = 0; j < width; ++j)
+                        out_row[j] += lhs * b_row[j];
+                }
+            }
+        }
+    }
 }
+
+} // namespace
 
 Matrix
 Matrix::matmul(const Matrix &other) const
+{
+    Matrix out;
+    matmulInto(other, out);
+    return out;
+}
+
+void
+Matrix::matmulInto(const Matrix &other, Matrix &out) const
+{
+    if (cols_ != other.rows_)
+        panic("matmul shape mismatch: %zux%zu * %zux%zu", rows_, cols_,
+              other.rows_, other.cols_);
+    if (&out == this || &out == &other)
+        panic("matmulInto: output must not alias an operand");
+    out.reshape(rows_, other.cols_);
+    if (rows_ == 0 || other.cols_ == 0)
+        return;
+    const double *a = data_.data();
+    const double *b = other.data_.data();
+    double *o = out.data_.data();
+    const size_t K = cols_, N = other.cols_;
+
+    util::ThreadPool &pool = util::ThreadPool::global();
+    const double flops = 2.0 * static_cast<double>(rows_) *
+                         static_cast<double>(K) * static_cast<double>(N);
+    if (pool.workerCount() > 1 && flops >= kParallelMinFlops &&
+        rows_ > 1) {
+        // Rows are independent, so chunking cannot change results.
+        size_t grain =
+            std::max<size_t>(1, rows_ / (4 * pool.workerCount()));
+        pool.parallelFor(rows_, grain,
+                         [&](size_t, size_t begin, size_t end) {
+                             matmulRows(a, b, o, begin, end, K, N);
+                         });
+    } else {
+        matmulRows(a, b, o, 0, rows_, K, N);
+    }
+}
+
+Matrix
+Matrix::matmulNaive(const Matrix &other) const
 {
     if (cols_ != other.rows_)
         panic("matmul shape mismatch: %zux%zu * %zux%zu", rows_, cols_,
               other.rows_, other.cols_);
     Matrix out(rows_, other.cols_);
     // ikj loop order: the inner loop strides contiguously through both
-    // the output row and the rhs row, which matters for larger layers.
+    // the output row and the rhs row.
     for (size_t i = 0; i < rows_; ++i) {
         const double *lhs_row = &data_[i * cols_];
         double *out_row = &out.data_[i * other.cols_];
@@ -80,6 +179,85 @@ Matrix::matmul(const Matrix &other) const
         }
     }
     return out;
+}
+
+Matrix
+Matrix::matmulTransposed(const Matrix &other) const
+{
+    Matrix out;
+    matmulTransposedInto(other, out);
+    return out;
+}
+
+void
+Matrix::matmulTransposedInto(const Matrix &other, Matrix &out) const
+{
+    if (cols_ != other.cols_)
+        panic("matmulTransposed shape mismatch: %zux%zu * (%zux%zu)^T",
+              rows_, cols_, other.rows_, other.cols_);
+    if (&out == this || &out == &other)
+        panic("matmulTransposedInto: output must not alias an operand");
+    out.reshape(rows_, other.rows_);
+    const size_t K = cols_, N = other.rows_;
+    const double *__restrict a = data_.data();
+    const double *__restrict b = other.data_.data();
+    double *__restrict o = out.data_.data();
+    // Row-by-row dot products: both operands are read contiguously and
+    // k ascends per element, matching a.matmulNaive(b.transposed())
+    // bit-for-bit (including its zero-lhs skip).
+    for (size_t i = 0; i < rows_; ++i) {
+        const double *a_row = &a[i * K];
+        double *out_row = &o[i * N];
+        for (size_t j = 0; j < N; ++j) {
+            const double *b_row = &b[j * K];
+            double acc = 0.0;
+            for (size_t k = 0; k < K; ++k) {
+                const double lhs = a_row[k];
+                if (lhs == 0.0)
+                    continue;
+                acc += lhs * b_row[k];
+            }
+            out_row[j] = acc;
+        }
+    }
+}
+
+Matrix
+Matrix::transposedMatmul(const Matrix &other) const
+{
+    Matrix out;
+    transposedMatmulInto(other, out);
+    return out;
+}
+
+void
+Matrix::transposedMatmulInto(const Matrix &other, Matrix &out) const
+{
+    if (rows_ != other.rows_)
+        panic("transposedMatmul shape mismatch: (%zux%zu)^T * %zux%zu",
+              rows_, cols_, other.rows_, other.cols_);
+    if (&out == this || &out == &other)
+        panic("transposedMatmulInto: output must not alias an operand");
+    out.reshape(cols_, other.cols_);
+    const size_t K = cols_, N = other.cols_;
+    const double *__restrict a = data_.data();
+    const double *__restrict b = other.data_.data();
+    double *__restrict o = out.data_.data();
+    // Accumulate rank-1 updates in ascending row order: per output
+    // element the shared row index ascends exactly as in
+    // transposed().matmulNaive(other).
+    for (size_t i = 0; i < rows_; ++i) {
+        const double *a_row = &a[i * K];
+        const double *b_row = &b[i * N];
+        for (size_t k = 0; k < K; ++k) {
+            const double lhs = a_row[k];
+            if (lhs == 0.0)
+                continue;
+            double *out_row = &o[k * N];
+            for (size_t j = 0; j < N; ++j)
+                out_row[j] += lhs * b_row[j];
+        }
+    }
 }
 
 Matrix
@@ -133,13 +311,20 @@ Matrix::operator-=(const Matrix &other)
 Matrix
 Matrix::hadamard(const Matrix &other) const
 {
+    Matrix out = *this;
+    out.hadamardInPlace(other);
+    return out;
+}
+
+Matrix &
+Matrix::hadamardInPlace(const Matrix &other)
+{
     if (rows_ != other.rows_ || cols_ != other.cols_)
         panic("hadamard shape mismatch: %zux%zu vs %zux%zu", rows_, cols_,
               other.rows_, other.cols_);
-    Matrix out = *this;
     for (size_t i = 0; i < data_.size(); ++i)
-        out.data_[i] *= other.data_[i];
-    return out;
+        data_[i] *= other.data_[i];
+    return *this;
 }
 
 Matrix
@@ -161,14 +346,21 @@ Matrix::operator*=(double scalar)
 Matrix
 Matrix::addRowBroadcast(const Matrix &rowvec) const
 {
+    Matrix out = *this;
+    out.addRowBroadcastInPlace(rowvec);
+    return out;
+}
+
+Matrix &
+Matrix::addRowBroadcastInPlace(const Matrix &rowvec)
+{
     if (rowvec.rows_ != 1 || rowvec.cols_ != cols_)
         panic("addRowBroadcast: bias is %zux%zu, need 1x%zu", rowvec.rows_,
               rowvec.cols_, cols_);
-    Matrix out = *this;
     for (size_t r = 0; r < rows_; ++r)
         for (size_t c = 0; c < cols_; ++c)
-            out.data_[r * cols_ + c] += rowvec.data_[c];
-    return out;
+            data_[r * cols_ + c] += rowvec.data_[c];
+    return *this;
 }
 
 Matrix
@@ -236,6 +428,14 @@ void
 Matrix::zero()
 {
     std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+void
+Matrix::reshape(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
 }
 
 void

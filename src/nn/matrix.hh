@@ -6,6 +6,14 @@
  * library. It intentionally supports only what the layers need: matmul,
  * transpose, elementwise arithmetic, row/column reductions and random
  * initialization. All shape violations are programming errors and panic.
+ *
+ * Performance notes: matmul is tiled over column stripes and, above a
+ * flop threshold, parallelized over output-row chunks on the global
+ * thread pool — both transforms preserve the per-element accumulation
+ * order, so results are bit-identical to the naive serial loop
+ * (matmulNaive, kept as the test reference). Element bounds checks are
+ * compiled in only when GEO_CHECK_BOUNDS is defined (the default
+ * build); GEO_NATIVE release builds drop them from the hot loops.
  */
 
 #ifndef GEO_NN_MATRIX_HH
@@ -48,8 +56,25 @@ class Matrix
     size_t size() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
 
-    double &at(size_t r, size_t c);
-    double at(size_t r, size_t c) const;
+    double &
+    at(size_t r, size_t c)
+    {
+#ifdef GEO_CHECK_BOUNDS
+        if (r >= rows_ || c >= cols_)
+            panicOutOfRange(r, c);
+#endif
+        return data_[r * cols_ + c];
+    }
+
+    double
+    at(size_t r, size_t c) const
+    {
+#ifdef GEO_CHECK_BOUNDS
+        if (r >= rows_ || c >= cols_)
+            panicOutOfRange(r, c);
+#endif
+        return data_[r * cols_ + c];
+    }
 
     double &operator()(size_t r, size_t c) { return at(r, c); }
     double operator()(size_t r, size_t c) const { return at(r, c); }
@@ -57,8 +82,27 @@ class Matrix
     const std::vector<double> &data() const { return data_; }
     std::vector<double> &data() { return data_; }
 
-    /** Matrix product this(r,k) * other(k,c). */
+    /** Matrix product this(r,k) * other(k,c) (tiled, pool-parallel). */
     Matrix matmul(const Matrix &other) const;
+
+    /** matmul computed into `out` (reshaped and zeroed first). */
+    void matmulInto(const Matrix &other, Matrix &out) const;
+
+    /**
+     * Reference serial ikj product — the oracle the tiled/parallel
+     * matmul must match bit-for-bit (used by tests and benchmarks).
+     */
+    Matrix matmulNaive(const Matrix &other) const;
+
+    /** Product this(r,k) * other(c,k)^T without materializing the
+     *  transpose (backward-pass hot path). */
+    Matrix matmulTransposed(const Matrix &other) const;
+    void matmulTransposedInto(const Matrix &other, Matrix &out) const;
+
+    /** Product this(r,k)^T * other(r,c) without materializing the
+     *  transpose (weight-gradient hot path). */
+    Matrix transposedMatmul(const Matrix &other) const;
+    void transposedMatmulInto(const Matrix &other, Matrix &out) const;
 
     /** Transposed copy. */
     Matrix transposed() const;
@@ -73,6 +117,7 @@ class Matrix
 
     /** Elementwise (Hadamard) product. */
     Matrix hadamard(const Matrix &other) const;
+    Matrix &hadamardInPlace(const Matrix &other);
 
     /** Scalar multiply. */
     Matrix operator*(double scalar) const;
@@ -80,6 +125,7 @@ class Matrix
 
     /** Add a 1 x cols row vector to every row (bias broadcast). */
     Matrix addRowBroadcast(const Matrix &row) const;
+    Matrix &addRowBroadcastInPlace(const Matrix &row);
 
     /** Column-wise sums as a 1 x cols matrix. */
     Matrix columnSums() const;
@@ -102,6 +148,10 @@ class Matrix
     /** Set every element to zero. */
     void zero();
 
+    /** Re-shape to rows x cols, zero-filled, reusing the allocation
+     *  when capacity allows (scratch-buffer workhorse). */
+    void reshape(size_t rows, size_t cols);
+
     /** Fill with N(0, stddev) noise. */
     void fillNormal(Rng &rng, double stddev);
 
@@ -120,6 +170,8 @@ class Matrix
     bool operator==(const Matrix &other) const = default;
 
   private:
+    [[noreturn]] void panicOutOfRange(size_t r, size_t c) const;
+
     size_t rows_ = 0;
     size_t cols_ = 0;
     std::vector<double> data_;

@@ -42,9 +42,12 @@ SimpleRnnLayer::forward(const Matrix &input, bool training)
     }
     for (size_t t = 0; t < timesteps_; ++t) {
         Matrix xt = input.colRange(t * features_, (t + 1) * features_);
-        Matrix pre = xt.matmul(wx_) + hidden.matmul(wh_);
-        pre = pre.addRowBroadcast(bias_);
-        hidden = applyActivation(act_, pre);
+        Matrix pre = xt.matmul(wx_);
+        hidden.matmulInto(wh_, scratch_);
+        pre += scratch_;
+        pre.addRowBroadcastInPlace(bias_);
+        hidden = pre;
+        applyActivationInPlace(act_, hidden);
         if (training) {
             cachedInputs_.push_back(std::move(xt));
             cachedPreActs_.push_back(std::move(pre));
@@ -63,16 +66,18 @@ SimpleRnnLayer::backward(const Matrix &grad_output)
     Matrix grad_input(batch, inputSize());
     Matrix dh = grad_output;
     for (size_t t = timesteps_; t-- > 0;) {
-        Matrix dpre =
-            dh.hadamard(activationDerivative(act_, cachedPreActs_[t]));
-        gradWx_ += cachedInputs_[t].transposed().matmul(dpre);
+        Matrix dpre = activationDerivative(act_, cachedPreActs_[t]);
+        dpre.hadamardInPlace(dh);
+        cachedInputs_[t].transposedMatmulInto(dpre, scratch_);
+        gradWx_ += scratch_;
         Matrix h_prev = (t == 0) ? Matrix(batch, hidden_)
                                  : cachedHidden_[t - 1];
-        gradWh_ += h_prev.transposed().matmul(dpre);
+        h_prev.transposedMatmulInto(dpre, scratch_);
+        gradWh_ += scratch_;
         gradBias_ += dpre.columnSums();
         grad_input.setBlock(0, t * features_,
-                            dpre.matmul(wx_.transposed()));
-        dh = dpre.matmul(wh_.transposed());
+                            dpre.matmulTransposed(wx_));
+        dh = dpre.matmulTransposed(wh_);
     }
     return grad_input;
 }

@@ -67,6 +67,9 @@ class SimpleRnnLayer : public Layer
     std::vector<Matrix> cachedInputs_;
     std::vector<Matrix> cachedPreActs_;
     std::vector<Matrix> cachedHidden_; ///< hidden_[t] = state after step t
+
+    // Reused scratch buffer (per-step allocation churn killer).
+    Matrix scratch_;
 };
 
 } // namespace nn

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fixed-size worker pool for the engine's parallel hot paths.
+ *
+ * Two entry points: submit() enqueues an arbitrary task and returns a
+ * future, parallelFor() splits an index range into chunks and runs the
+ * chunks across the workers with the caller participating.
+ *
+ * Determinism contract: parallelFor's chunk boundaries depend only on
+ * (count, grain), never on the worker count or scheduling order, so a
+ * caller that seeds per-chunk RNGs from the chunk index and combines
+ * per-chunk partial results in chunk order is bit-identical across
+ * 1, 2 or N workers — and to a fully serial run.
+ *
+ * Calls from inside a worker thread degrade gracefully: nested
+ * parallelFor runs inline and nested submit executes eagerly, so a
+ * parallel model search whose inner training loops also ask for
+ * parallelism cannot deadlock the pool.
+ */
+
+#ifndef GEO_UTIL_THREAD_POOL_HH
+#define GEO_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace geo {
+namespace util {
+
+/**
+ * Fixed worker-count thread pool with deterministic parallelFor.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers number of worker threads; 0 picks the hardware
+     *        concurrency (at least 1).
+     */
+    explicit ThreadPool(size_t workers = 0);
+
+    /** Joins all workers (pending tasks are drained first). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue a task and get a future for its result. When called from
+     * one of this pool's worker threads the task runs inline (eager)
+     * to keep nested fan-outs deadlock-free.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        if (workers_.empty() || onWorkerThread()) {
+            (*task)();
+            return future;
+        }
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run fn(chunk, begin, end) over [0, count) split into fixed
+     * chunks of `grain` indices (the last chunk may be short). The
+     * caller thread participates; returns when every chunk completed.
+     *
+     * Chunk boundaries depend only on (count, grain) — see the
+     * determinism contract above.
+     */
+    void parallelFor(
+        size_t count, size_t grain,
+        const std::function<void(size_t chunk, size_t begin, size_t end)>
+            &fn);
+
+    /** True when the calling thread is one of this pool's workers. */
+    bool onWorkerThread() const;
+
+    /**
+     * The process-wide pool, sized from the GEO_THREADS environment
+     * variable (default: hardware concurrency). Constructed on first
+     * use.
+     */
+    static ThreadPool &global();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace util
+} // namespace geo
+
+#endif // GEO_UTIL_THREAD_POOL_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Bit-identity tests for the batched scoring path: scoreLocations()
+ * assembles one feature matrix per decision cycle, but every predicted
+ * value must equal the scalar predictThroughput() result bitwise, for
+ * both model orientations (throughput and latency targets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/drl_engine.hh"
+#include "core/interface_daemon.hh"
+#include "core/replay_db.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace core {
+namespace {
+
+PerfRecord
+throughputRecord(storage::FileId file, storage::DeviceId device,
+                 double throughput, int64_t at)
+{
+    PerfRecord rec;
+    rec.file = file;
+    rec.device = device;
+    rec.rb = 1000000;
+    rec.ots = at;
+    rec.otms = 0;
+    rec.cts = at + 2;
+    rec.ctms = 0;
+    rec.throughput = throughput;
+    return rec;
+}
+
+PerfRecord
+latencyRecord(storage::FileId file, storage::DeviceId device,
+              double duration, int64_t at)
+{
+    PerfRecord rec;
+    rec.file = file;
+    rec.device = device;
+    rec.rb = 1000000;
+    rec.ots = at;
+    rec.otms = 0;
+    rec.cts = at + static_cast<int64_t>(duration);
+    rec.ctms =
+        static_cast<int64_t>((duration - std::floor(duration)) * 1000.0);
+    rec.throughput = 1e6 / duration;
+    return rec;
+}
+
+/** Train an engine on synthetic telemetry with real variance. */
+struct TrainedEngine
+{
+    ReplayDb db;
+    InterfaceDaemon daemon;
+    DrlEngine engine;
+    std::vector<PerfRecord> latest;
+
+    static DaemonConfig daemonConfig(ModelTarget target)
+    {
+        DaemonConfig config;
+        config.target = target;
+        config.smoothingWindow = 1;
+        return config;
+    }
+
+    static DrlConfig engineConfig()
+    {
+        DrlConfig config;
+        config.epochs = 25;
+        return config;
+    }
+
+    explicit TrainedEngine(ModelTarget target)
+        : daemon(db, daemonConfig(target)), engine(engineConfig())
+    {
+        Rng rng(17);
+        std::vector<PerfRecord> records;
+        for (int i = 0; i < 500; ++i) {
+            storage::FileId file = i % 10;
+            storage::DeviceId device =
+                static_cast<storage::DeviceId>(i % 4);
+            if (target == ModelTarget::Latency) {
+                double duration = 1.0 +
+                                  0.6 * static_cast<double>(i % 3) +
+                                  rng.uniform(0.0, 0.2);
+                records.push_back(
+                    latencyRecord(file, device, duration, i * 5));
+            } else {
+                double throughput = 4e5 +
+                                    2e5 * static_cast<double>(i % 4) +
+                                    rng.uniform(0.0, 1e5);
+                records.push_back(
+                    throughputRecord(file, device, throughput, i * 5));
+            }
+        }
+        daemon.receiveBatch(records);
+        RetrainStats stats =
+            engine.retrain(daemon.buildTrainingBatch({0, 1, 2, 3}));
+        EXPECT_TRUE(stats.trained);
+        EXPECT_TRUE(engine.ready());
+        for (int i = 0; i < 10; ++i)
+            latest.push_back(records[records.size() - 10 + i]);
+    }
+};
+
+void
+expectBatchedMatchesScalar(TrainedEngine &fixture)
+{
+    const std::vector<storage::DeviceId> devices = {0, 1, 2, 3};
+    std::vector<std::vector<CandidateScore>> batched =
+        fixture.engine.scoreLocations(fixture.latest, devices);
+    ASSERT_EQ(batched.size(), fixture.latest.size());
+    for (size_t f = 0; f < fixture.latest.size(); ++f) {
+        ASSERT_EQ(batched[f].size(), devices.size());
+        for (size_t d = 0; d < devices.size(); ++d) {
+            EXPECT_EQ(batched[f][d].device, devices[d]);
+            double scalar = fixture.engine.predictThroughput(
+                fixture.latest[f].featuresAt(devices[d]));
+            // Bitwise, not approximate: the batched matrix walk must
+            // preserve the exact per-row arithmetic.
+            EXPECT_EQ(batched[f][d].predictedThroughput, scalar)
+                << "file row " << f << " device " << devices[d];
+        }
+    }
+}
+
+TEST(BatchedScoring, MatchesScalarThroughputTarget)
+{
+    TrainedEngine fixture(ModelTarget::Throughput);
+    expectBatchedMatchesScalar(fixture);
+}
+
+TEST(BatchedScoring, MatchesScalarLatencyTarget)
+{
+    TrainedEngine fixture(ModelTarget::Latency);
+    EXPECT_TRUE(fixture.engine.lowerIsBetter());
+    expectBatchedMatchesScalar(fixture);
+}
+
+TEST(BatchedScoring, SingleFileMatchesScoreCandidates)
+{
+    TrainedEngine fixture(ModelTarget::Throughput);
+    const std::vector<storage::DeviceId> devices = {0, 1, 2, 3};
+    std::vector<CandidateScore> single =
+        fixture.engine.scoreCandidates(fixture.latest.front(), devices);
+    std::vector<std::vector<CandidateScore>> batched =
+        fixture.engine.scoreLocations(
+            std::vector<PerfRecord>{fixture.latest.front()}, devices);
+    ASSERT_EQ(batched.size(), 1u);
+    ASSERT_EQ(batched[0].size(), single.size());
+    for (size_t d = 0; d < single.size(); ++d) {
+        EXPECT_EQ(batched[0][d].device, single[d].device);
+        EXPECT_EQ(batched[0][d].predictedThroughput,
+                  single[d].predictedThroughput);
+    }
+}
+
+TEST(BatchedScoring, PredictBatchSingleRowMatchesScalar)
+{
+    TrainedEngine fixture(ModelTarget::Throughput);
+    std::vector<double> features =
+        fixture.latest.front().featuresAt(2);
+    nn::Matrix row(1, features.size());
+    for (size_t c = 0; c < features.size(); ++c)
+        row.at(0, c) = features[c];
+    std::vector<double> batched = fixture.engine.predictBatch(row);
+    ASSERT_EQ(batched.size(), 1u);
+    EXPECT_EQ(batched[0], fixture.engine.predictThroughput(features));
+}
+
+TEST(BatchedScoring, EmptyInputsYieldEmptyOutputs)
+{
+    TrainedEngine fixture(ModelTarget::Throughput);
+    EXPECT_TRUE(fixture.engine
+                    .scoreLocations(std::vector<PerfRecord>{}, {0, 1})
+                    .empty());
+    std::vector<std::vector<CandidateScore>> no_devices =
+        fixture.engine.scoreLocations(fixture.latest, {});
+    ASSERT_EQ(no_devices.size(), fixture.latest.size());
+    for (const std::vector<CandidateScore> &scores : no_devices)
+        EXPECT_TRUE(scores.empty());
+}
+
+TEST(BatchedScoringDeathTest, PanicsBeforeRetrain)
+{
+    DrlEngine engine{DrlConfig{}};
+    PerfRecord rec = throughputRecord(0, 0, 5e5, 10);
+    EXPECT_DEATH(engine.scoreLocations(rec, {0, 1}),
+                 "before a successful retrain");
+    nn::Matrix row(1, 4);
+    EXPECT_DEATH(engine.predictBatch(row), "before a successful retrain");
+}
+
+} // namespace
+} // namespace core
+} // namespace geo

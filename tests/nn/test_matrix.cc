@@ -48,12 +48,14 @@ TEST(MatrixDeathTest, FromRowsRagged)
     EXPECT_DEATH(Matrix::fromRows({{1, 2}, {3}}), "ragged");
 }
 
+#ifdef GEO_CHECK_BOUNDS
 TEST(MatrixDeathTest, OutOfBoundsAccess)
 {
     Matrix m(2, 2);
     EXPECT_DEATH(m.at(2, 0), "out of");
     EXPECT_DEATH(m.at(0, 2), "out of");
 }
+#endif
 
 TEST(Matrix, MatmulKnown)
 {

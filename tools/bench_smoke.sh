@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Perf-baseline smoke test: run the micro_benchmarks perf suite in
+# reduced (quick) mode and validate the BENCH_perf.json it emits
+# against the geo-perf-1 schema.  Catches a broken perf harness (or a
+# benchmark that stopped emitting a section) without paying for the
+# full measurement run.
+#
+# Usage: tools/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+bench="${build_dir}/bench/micro_benchmarks"
+
+if [[ ! -x "${bench}" ]]; then
+    echo "bench_smoke.sh: ${bench} not built (cmake --build ${build_dir})" >&2
+    exit 1
+fi
+
+out="$(mktemp /tmp/BENCH_perf.XXXXXX.json)"
+trap 'rm -f "${out}"' EXIT
+
+echo "== running perf suite (quick mode) =="
+GEO_PERF_QUICK=1 GEO_SKIP_MICRO=1 GEO_PERF_OUT="${out}" "${bench}"
+
+echo "== validating ${out} =="
+python3 - "${out}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+def fail(message):
+    print(f"bench_smoke: {message}", file=sys.stderr)
+    sys.exit(1)
+
+if doc.get("schema") != "geo-perf-1":
+    fail(f"unexpected schema {doc.get('schema')!r}")
+if not isinstance(doc.get("threads"), int) or doc["threads"] < 1:
+    fail("threads must be a positive integer")
+
+gemm = doc.get("gemm")
+if not isinstance(gemm, list) or not gemm:
+    fail("gemm section missing or empty")
+for entry in gemm:
+    for key in ("m", "k", "n", "naive_ms", "tiled_ms", "speedup"):
+        if key not in entry:
+            fail(f"gemm entry missing {key}: {entry}")
+    if entry["naive_ms"] <= 0 or entry["tiled_ms"] <= 0:
+        fail(f"gemm timings must be positive: {entry}")
+
+scoring = doc.get("candidate_scoring")
+if not isinstance(scoring, dict):
+    fail("candidate_scoring section missing")
+for key in ("files", "devices", "trained", "scalar_ms", "batched_ms",
+            "speedup", "bitwise_equal"):
+    if key not in scoring:
+        fail(f"candidate_scoring missing {key}")
+if not scoring["trained"]:
+    fail("candidate_scoring model failed to train")
+if not scoring["bitwise_equal"]:
+    fail("batched scoring diverged from the scalar path")
+
+cycle = doc.get("full_cycle")
+if not isinstance(cycle, dict):
+    fail("full_cycle section missing")
+for key in ("cycle_ms", "predict_ms"):
+    if key not in cycle:
+        fail(f"full_cycle missing {key}")
+
+scaling = doc.get("model_search_scaling")
+if not isinstance(scaling, list) or not scaling:
+    fail("model_search_scaling section missing or empty")
+for entry in scaling:
+    for key in ("workers", "seconds", "speedup"):
+        if key not in entry:
+            fail(f"model_search_scaling entry missing {key}: {entry}")
+
+print("bench_smoke: BENCH_perf.json schema OK "
+      f"({len(gemm)} gemm sizes, scoring speedup "
+      f"{scoring['speedup']:.2f}x, bitwise_equal="
+      f"{scoring['bitwise_equal']})")
+EOF
+
+echo "== bench_smoke.sh: OK =="

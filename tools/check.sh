@@ -4,6 +4,10 @@
 # suite under it.  Intended as a pre-merge check; the regular build tree
 # (build/) is left untouched.
 #
+# With GEO_NATIVE=1 a second phase builds the shipping configuration
+# (-O3 -march=native, Matrix bounds checks off) and runs the tests
+# again: the fast build must pass the same suite it ships with.
+#
 # Usage: tools/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
 
@@ -25,3 +29,20 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 echo "== check.sh: all tests passed under address;undefined =="
+
+if [[ "${GEO_NATIVE:-0}" == "1" ]]; then
+    native_dir="${repo_root}/build-native"
+    echo "== configuring native build in ${native_dir} =="
+    cmake -S "${repo_root}" -B "${native_dir}" \
+        -DGEO_NATIVE=ON \
+        -DGEO_CHECK_BOUNDS=OFF \
+        -DCMAKE_BUILD_TYPE=Release
+
+    echo "== building native (${jobs} jobs) =="
+    cmake --build "${native_dir}" -j "${jobs}"
+
+    echo "== running tier-1 tests on the native build =="
+    ctest --test-dir "${native_dir}" --output-on-failure -j "${jobs}"
+
+    echo "== check.sh: native build passed =="
+fi
