@@ -81,6 +81,7 @@ int
 main()
 {
     using namespace geo;
+    bench::BenchObservability observability;
     bench::header("Ablation studies", "DESIGN.md Section 4");
     const size_t runs = bench::knob("GEO_ABLATION_RUNS", 50, 150);
 

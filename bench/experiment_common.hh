@@ -8,16 +8,64 @@
 #ifndef GEO_BENCH_EXPERIMENT_COMMON_HH
 #define GEO_BENCH_EXPERIMENT_COMMON_HH
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "bench_common.hh"
 #include "core/experiment.hh"
 #include "storage/bluesky.hh"
+#include "util/metrics.hh"
+#include "util/trace_event.hh"
 #include "workload/belle2.hh"
 
 namespace geo {
 namespace bench {
+
+/**
+ * Opt-in observability for the bench harnesses, driven by environment
+ * variables so the default runs stay untouched (fig5a byte-equality):
+ *
+ *   GEO_TRACE_OUT=FILE    collect a Chrome trace of the run
+ *   GEO_METRICS_OUT=FILE  dump the metric registry as JSON at exit
+ *
+ * Construct one at the top of main(); the destructor writes the files.
+ */
+class BenchObservability
+{
+  public:
+    BenchObservability()
+    {
+        if (const char *path = std::getenv("GEO_TRACE_OUT")) {
+            tracePath_ = path;
+            util::TraceCollector::global().enable();
+        }
+        if (const char *path = std::getenv("GEO_METRICS_OUT"))
+            metricsPath_ = path;
+        util::MetricRegistry::global().reset();
+    }
+
+    ~BenchObservability()
+    {
+        if (!tracePath_.empty()) {
+            util::TraceCollector &collector =
+                util::TraceCollector::global();
+            collector.disable();
+            if (collector.writeJsonFile(tracePath_))
+                std::fprintf(stderr, "trace written to %s\n",
+                             tracePath_.c_str());
+        }
+        if (!metricsPath_.empty() &&
+            util::MetricRegistry::global().writeJsonFile(metricsPath_))
+            std::fprintf(stderr, "metrics written to %s\n",
+                         metricsPath_.c_str());
+    }
+
+  private:
+    std::string tracePath_;
+    std::string metricsPath_;
+};
 
 /** The policies the paper's experiments compare. */
 enum class PolicyKind {

@@ -23,6 +23,7 @@ int
 main()
 {
     using namespace geo;
+    bench::BenchObservability observability;
     using bench::PolicyKind;
     bench::header("Fig. 5a - Geomancy vs dynamic placement policies",
                   "Section VII, Fig. 5a (experiment 1)");

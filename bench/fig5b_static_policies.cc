@@ -21,6 +21,7 @@ int
 main()
 {
     using namespace geo;
+    bench::BenchObservability observability;
     using bench::PolicyKind;
     bench::header("Fig. 5b - Geomancy vs static placements",
                   "Section VII, Fig. 5b (experiment 2)");

@@ -71,6 +71,7 @@ int
 main()
 {
     using namespace geo;
+    bench::BenchObservability observability;
     bench::header("Fig. 6 - adapting to a new interfering workload",
                   "Section VIII, Fig. 6 (experiment 3)");
 

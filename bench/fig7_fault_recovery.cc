@@ -60,6 +60,7 @@ int
 main()
 {
     using namespace geo;
+    bench::BenchObservability observability;
     bench::header("Fig. 7 - surviving a degrading, then dying mount",
                   "fault-injection extension (paper runs healthy only)");
 
@@ -256,6 +257,27 @@ main()
     std::cout << "\nGeomancy ReplayDB forensic trail: "
               << geomancy.faultEvents << " fault transitions, "
               << geomancy.moveAttempts << " migration attempts logged\n";
+
+    // Scheduler admission accounting, read from the metric registry.
+    // Only the Geomancy scenario owns a scheduler, so these counters
+    // are entirely its doing.
+    auto &registry = util::MetricRegistry::global();
+    auto count = [&registry](const char *name) {
+        return std::to_string(registry.counterValue(name));
+    };
+    TextTable sched("Scheduler admission (Geomancy, metric registry)");
+    sched.setHeader({"Counter", "Count"});
+    sched.addRow({"moves admitted", count("scheduler.admitted")});
+    sched.addRow({"skipped: file cooldown",
+                  count("scheduler.rejected_cooldown")});
+    sched.addRow({"skipped: gap check", count("scheduler.rejected_gap")});
+    sched.addRow({"skipped: circuit breaker",
+                  count("scheduler.rejected_breaker")});
+    sched.addRow({"breaker trips", count("scheduler.breaker_trips")});
+    sched.addRow({"breaker probes", count("scheduler.breaker_probes")});
+    sched.addRow({"retries executed", count("control.retries")});
+    sched.addRow({"moves abandoned", count("control.moves_abandoned")});
+    sched.print(std::cout);
 
     std::cout << "\nThroughput (GB/s; ^ marks degradation, then the "
                  "kill):\n";

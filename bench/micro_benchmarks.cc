@@ -8,8 +8,9 @@
  * The binary also runs a structured perf suite (tracked baseline)
  * before the google micros and writes it to BENCH_perf.json:
  * naive-vs-tiled GEMM, scalar-vs-batched candidate scoring, one full
- * Geomancy decision cycle, and model-search scaling over 1/2/4
- * workers. Knobs: GEO_PERF_OUT (output path), GEO_PERF_QUICK=1
+ * Geomancy decision cycle, model-search scaling over 1/2/4 workers,
+ * and metric-primitive overhead (counter/histogram ns per op).
+ * Knobs: GEO_PERF_OUT (output path), GEO_PERF_QUICK=1
  * (small sizes), GEO_SKIP_PERF=1 / GEO_SKIP_MICRO=1 (skip a half).
  */
 
@@ -30,6 +31,7 @@
 #include "trace/eos_trace_gen.hh"
 #include "trace/path_encoder.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/smoothing.hh"
 #include "util/thread_pool.hh"
 #include "workload/belle2.hh"
@@ -225,6 +227,27 @@ BM_EosTraceGeneration(benchmark::State &state)
                             1000);
 }
 BENCHMARK(BM_EosTraceGeneration);
+
+/**
+ * Cost of one counter increment + one histogram record — the pair the
+ * instrumented hot paths pay per event.  Keeps the observability layer
+ * honest about its "negligible overhead" claim.
+ */
+void
+BM_MetricsOverhead(benchmark::State &state)
+{
+    util::MetricRegistry registry;
+    util::Counter &counter = registry.counter("bench.events");
+    util::Histogram &histogram = registry.histogram("bench.latency");
+    double value = 0.125;
+    for (auto _ : state) {
+        counter.inc();
+        histogram.record(value);
+        value += 0.001;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsOverhead);
 
 void
 BM_MovingAverage(benchmark::State &state)
@@ -426,6 +449,56 @@ timeModelSearchScaling(bool quick)
     return results;
 }
 
+struct OverheadResult
+{
+    double counterNs = 0.0;
+    double histogramNs = 0.0;
+    double plainLoopNs = 0.0;
+};
+
+/**
+ * Tracked ns/op of the metric primitives against an arithmetic-only
+ * loop of the same trip count, so regressions in the relaxed-atomic
+ * paths show up in BENCH_perf.json diffs.
+ */
+OverheadResult
+timeMetricsOverhead(bool quick)
+{
+    const size_t iters = quick ? 2000000 : 8000000;
+    const int reps = quick ? 3 : 5;
+    util::MetricRegistry registry;
+    util::Counter &counter = registry.counter("bench.events");
+    util::Histogram &histogram = registry.histogram("bench.latency");
+
+    OverheadResult result;
+    uint64_t sink = 0;
+    result.plainLoopNs = bestMillis(
+                             [&]() {
+                                 for (size_t i = 0; i < iters; ++i)
+                                     sink += i * 31 + 7;
+                             },
+                             reps) *
+                         1e6 / static_cast<double>(iters);
+    benchmark::DoNotOptimize(sink);
+    result.counterNs = bestMillis(
+                           [&]() {
+                               for (size_t i = 0; i < iters; ++i)
+                                   counter.inc();
+                           },
+                           reps) *
+                       1e6 / static_cast<double>(iters);
+    result.histogramNs =
+        bestMillis(
+            [&]() {
+                for (size_t i = 0; i < iters; ++i)
+                    histogram.record(static_cast<double>(i & 1023) + 1.0);
+            },
+            reps) *
+        1e6 / static_cast<double>(iters);
+    benchmark::DoNotOptimize(counter.value());
+    return result;
+}
+
 /** Run the tracked perf suite and write BENCH_perf.json. */
 void
 runPerfSuite()
@@ -454,6 +527,8 @@ runPerfSuite()
     std::fprintf(stderr, "perf: full cycle done\n");
     std::vector<ScalingResult> scaling = timeModelSearchScaling(quick);
     std::fprintf(stderr, "perf: model-search scaling done\n");
+    OverheadResult overhead = timeMetricsOverhead(quick);
+    std::fprintf(stderr, "perf: metrics overhead done\n");
 
     std::ofstream out(out_path);
     if (!out)
@@ -492,7 +567,10 @@ runPerfSuite()
             << (s.seconds > 0.0 ? scaling[0].seconds / s.seconds : 0.0)
             << "}" << (i + 1 < scaling.size() ? "," : "") << "\n";
     }
-    out << "  ]\n";
+    out << "  ],\n";
+    out << "  \"metrics_overhead\": {\"counter_ns\": " << overhead.counterNs
+        << ", \"histogram_ns\": " << overhead.histogramNs
+        << ", \"plain_loop_ns\": " << overhead.plainLoopNs << "}\n";
     out << "}\n";
     std::fprintf(stderr, "perf: wrote %s\n", out_path.c_str());
 }

@@ -22,6 +22,7 @@ int
 main()
 {
     using namespace geo;
+    bench::BenchObservability observability;
     using bench::PolicyKind;
     bench::header("Table IV - per-mount pinning vs Geomancy",
                   "Section VIII, Table IV");

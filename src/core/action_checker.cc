@@ -14,6 +14,12 @@ ActionChecker::ActionChecker(storage::StorageSystem &system,
 {
     if (config_.maxMovesPerCycle == 0)
         panic("ActionChecker: maxMovesPerCycle must be >= 1");
+    auto &registry = util::MetricRegistry::global();
+    vetoReadonlyMetric_ = &registry.counter("checker.veto_readonly");
+    vetoCapacityMetric_ = &registry.counter("checker.veto_capacity");
+    vetoUnhealthyMetric_ = &registry.counter("checker.veto_unhealthy");
+    belowMinGainMetric_ = &registry.counter("checker.below_min_gain");
+    randomFallbackMetric_ = &registry.counter("checker.random_fallbacks");
 }
 
 std::vector<storage::DeviceId>
@@ -31,13 +37,19 @@ ActionChecker::validDevices(
             continue;
         }
         const storage::StorageDevice &dev = system_.device(id);
-        if (!dev.writable())
+        if (!dev.writable()) {
+            vetoReadonlyMetric_->inc();
             continue;
-        if (dev.freeBytes() < f.sizeBytes)
+        }
+        if (dev.freeBytes() < f.sizeBytes) {
+            vetoCapacityMetric_->inc();
             continue;
+        }
         if (!dev.available() ||
-            dev.healthFactor() < config_.minHealthFactor)
+            dev.healthFactor() < config_.minHealthFactor) {
+            vetoUnhealthyMetric_->inc();
             continue; // offline or too degraded to take new data
+        }
         valid.push_back(id);
     }
     return valid;
@@ -65,6 +77,7 @@ ActionChecker::selectMove(storage::FileId file,
     if (valid.empty()) {
         // All storage devices invalid: perform a random movement so
         // Geomancy keeps learning the movement/performance relation.
+        randomFallbackMetric_->inc();
         return randomMove(file, rng);
     }
 
@@ -82,8 +95,10 @@ ActionChecker::selectMove(storage::FileId file,
             better(s.predictedThroughput, best->predictedThroughput))
             best = &s;
     }
-    if (!best)
+    if (!best) {
+        randomFallbackMetric_->inc();
         return randomMove(file, rng);
+    }
     if (best->device == current)
         return std::nullopt; // staying put predicted best
 
@@ -99,8 +114,10 @@ ActionChecker::selectMove(storage::FileId file,
                       stay_predicted
                 : (best->predictedThroughput - stay_predicted) /
                       stay_predicted;
-        if (move.predictedGain < config_.minRelativeGain)
+        if (move.predictedGain < config_.minRelativeGain) {
+            belowMinGainMetric_->inc();
             return std::nullopt; // not worth the transfer cost
+        }
     } else {
         move.predictedGain = 0.0;
     }

@@ -19,6 +19,7 @@
 #include "core/control_agent.hh"
 #include "core/drl_engine.hh"
 #include "storage/system.hh"
+#include "util/metrics.hh"
 #include "util/random.hh"
 
 namespace geo {
@@ -104,6 +105,14 @@ class ActionChecker
   private:
     storage::StorageSystem &system_;
     CheckerConfig config_;
+
+    // Registry handles for candidate-veto accounting (the pointees are
+    // thread-safe to mutate from the const checker methods).
+    util::Counter *vetoReadonlyMetric_;
+    util::Counter *vetoCapacityMetric_;
+    util::Counter *vetoUnhealthyMetric_;
+    util::Counter *belowMinGainMetric_;
+    util::Counter *randomFallbackMetric_;
 };
 
 } // namespace core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace_event.hh"
 
 namespace geo {
 namespace core {
@@ -11,6 +12,17 @@ ControlAgent::ControlAgent(storage::StorageSystem &system, ReplayDb *db,
                            ControlAgentConfig config)
     : system_(system), db_(db), config_(config), rng_(config.seed)
 {
+    auto &registry = util::MetricRegistry::global();
+    requestedMetric_ = &registry.counter("control.moves_requested");
+    appliedMetric_ = &registry.counter("control.moves_applied");
+    failedMetric_ = &registry.counter("control.moves_failed");
+    skippedMetric_ = &registry.counter("control.moves_skipped");
+    requeuedMetric_ = &registry.counter("control.moves_requeued");
+    abandonedMetric_ = &registry.counter("control.moves_abandoned");
+    retriesMetric_ = &registry.counter("control.retries");
+    bytesMetric_ = &registry.counter("control.bytes_moved");
+    backoffMetric_ = &registry.histogram("control.backoff_s");
+    transferSecondsMetric_ = &registry.histogram("control.transfer_s");
 }
 
 double
@@ -48,6 +60,8 @@ void
 ControlAgent::attemptMove(const MoveRequest &req, size_t prior_attempts,
                           double first_attempt, MoveSummary &summary)
 {
+    if (prior_attempts > 0)
+        retriesMetric_->inc();
     storage::DeviceId from = system_.location(req.file);
     storage::MoveResult result =
         config_.chunkBytes > 0
@@ -69,6 +83,14 @@ ControlAgent::attemptMove(const MoveRequest &req, size_t prior_attempts,
         summary.transferSeconds += result.seconds;
         ++totalMoves_;
         totalBytes_ += result.bytes;
+        appliedMetric_->inc();
+        bytesMetric_->add(result.bytes);
+        transferSecondsMetric_->record(result.seconds);
+        // The transfer just finished at sim-now; span covers its
+        // modeled duration on the sim timeline.
+        GEO_SIM_SPAN("migrate", "move",
+                     system_.clock().now() - result.seconds,
+                     result.seconds);
         logAttempt(fate, result.bytes);
         if (db_) {
             MovementRecord rec;
@@ -84,6 +106,7 @@ ControlAgent::attemptMove(const MoveRequest &req, size_t prior_attempts,
         // Fault-class abort: retry with backoff unless the budget or
         // the per-move deadline ran out.
         ++summary.failed;
+        failedMetric_->inc();
         double now = system_.clock().now();
         size_t attempts = prior_attempts + 1;
         bool budget_left = attempts < config_.retry.maxAttempts;
@@ -95,9 +118,12 @@ ControlAgent::attemptMove(const MoveRequest &req, size_t prior_attempts,
             pend.req = req;
             pend.attempts = attempts;
             pend.firstAttempt = first_attempt;
-            pend.nextAttempt = now + backoffDelay(attempts);
+            double delay = backoffDelay(attempts);
+            backoffMetric_->record(delay);
+            pend.nextAttempt = now + delay;
             pending_.push_back(pend);
             ++summary.requeued;
+            requeuedMetric_->inc();
             warn("control: move file %llu -> dev %u aborted (%s, "
                  "attempt %zu), retrying at t=%.1f",
                  (unsigned long long)req.file, (unsigned)req.target,
@@ -107,6 +133,7 @@ ControlAgent::attemptMove(const MoveRequest &req, size_t prior_attempts,
             fate.outcome = AttemptOutcome::Abandoned;
             ++summary.abandoned;
             ++totalAbandoned_;
+            abandonedMetric_->inc();
             warn("control: move file %llu -> dev %u abandoned after "
                  "%zu attempts (%s)",
                  (unsigned long long)req.file, (unsigned)req.target,
@@ -118,6 +145,7 @@ ControlAgent::attemptMove(const MoveRequest &req, size_t prior_attempts,
         // target, no capacity, no-op); dropping it is the right move.
         fate.outcome = AttemptOutcome::Skipped;
         ++summary.skipped;
+        skippedMetric_->inc();
         if (result.reason != storage::MoveFail::SameDevice)
             warn("control: skipped move file %llu -> dev %u (%s)",
                  (unsigned long long)req.file, (unsigned)req.target,
@@ -132,6 +160,7 @@ ControlAgent::apply(const std::vector<MoveRequest> &moves)
 {
     MoveSummary summary;
     summary.requested = moves.size();
+    requestedMetric_->add(moves.size());
 
     // A fresh request for a file supersedes its pending retry: the
     // model has newer information about where the file should live.

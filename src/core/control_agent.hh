@@ -21,6 +21,7 @@
 
 #include "core/replay_db.hh"
 #include "storage/system.hh"
+#include "util/metrics.hh"
 #include "util/random.hh"
 
 namespace geo {
@@ -139,6 +140,18 @@ class ControlAgent
     uint64_t totalMoves_ = 0;
     uint64_t totalBytes_ = 0;
     uint64_t totalAbandoned_ = 0;
+
+    // Registry handles for migration accounting.
+    util::Counter *requestedMetric_;
+    util::Counter *appliedMetric_;
+    util::Counter *failedMetric_;
+    util::Counter *skippedMetric_;
+    util::Counter *requeuedMetric_;
+    util::Counter *abandonedMetric_;
+    util::Counter *retriesMetric_;
+    util::Counter *bytesMetric_;
+    util::Histogram *backoffMetric_;
+    util::Histogram *transferSecondsMetric_;
 
     /** Run one attempt of one move; updates summary, queue and log. */
     void attemptMove(const MoveRequest &req, size_t prior_attempts,

@@ -6,6 +6,7 @@
 
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/trace_event.hh"
 
 namespace geo {
 namespace core {
@@ -19,11 +20,20 @@ DrlEngine::DrlEngine(const DrlConfig &config)
         panic("DrlEngine: live engine requires a dense model "
               "(model %d is recurrent); windowed inputs are only wired "
               "into the offline model search", config.modelNumber);
+    auto &registry = util::MetricRegistry::global();
+    trainStepsMetric_ = &registry.counter("drl.train_steps");
+    divergedMetric_ = &registry.counter("drl.diverged");
+    trainMsMetric_ = &registry.histogram("drl.train_ms");
+    trainRowsMetric_ = &registry.histogram("drl.train_rows");
+    predictMsMetric_ = &registry.histogram("drl.predict_ms");
+    scoreRowsMetric_ = &registry.histogram("drl.score_rows");
+    valMaeMetric_ = &registry.gauge("drl.val_mae_pct");
 }
 
 RetrainStats
 DrlEngine::retrain(const TrainingBatch &batch)
 {
+    GEO_SPAN("drl", "retrain");
     RetrainStats stats;
     stats.samples = batch.dataset.size();
     // Need enough rows for a meaningful 60/20/20 split.
@@ -43,9 +53,13 @@ DrlEngine::retrain(const TrainingBatch &batch)
     stats.trained = true;
     stats.seconds = result.seconds;
     stats.diverged = result.diverged || model_.looksDiverged(split.test);
+    trainStepsMetric_->inc();
+    trainMsMetric_->record(result.seconds * 1e3);
+    trainRowsMetric_->record(static_cast<double>(split.train.size()));
     if (stats.diverged) {
         warn("DrlEngine: model diverged during retrain; predictions "
              "disabled until a successful cycle");
+        divergedMetric_->inc();
         ready_ = false;
         return stats;
     }
@@ -67,6 +81,7 @@ DrlEngine::retrain(const TrainingBatch &batch)
         meanAbsoluteRelativeError(pred_raw, target_raw);
     stats.signedRelError = meanSignedRelativeError(pred_raw, target_raw);
 
+    valMaeMetric_->set(stats.meanAbsRelError);
     maeFraction_ = stats.meanAbsRelError / 100.0;
     if (config_.adjustWithMae && maeFraction_ > 0.0) {
         // Over-predicting on average -> lower predictions, and vice
@@ -95,6 +110,7 @@ DrlEngine::predictBatch(const nn::Matrix &raw_rows)
 {
     if (!ready_)
         panic("DrlEngine::predictBatch before a successful retrain");
+    GEO_SPAN("drl", "predict");
     const size_t rows = raw_rows.rows();
     const size_t z = raw_rows.cols();
     featureScratch_.reshape(rows, z);
@@ -135,6 +151,7 @@ DrlEngine::scoreLocations(const std::vector<PerfRecord> &records,
 {
     if (!ready_)
         panic("DrlEngine::scoreCandidates before a successful retrain");
+    GEO_SPAN("drl", "predict");
     auto start = std::chrono::steady_clock::now();
 
     // One batch across all files: a row per (file, candidate) pair
@@ -174,6 +191,9 @@ DrlEngine::scoreLocations(const std::vector<PerfRecord> &records,
     auto elapsed = std::chrono::steady_clock::now() - start;
     lastPredictMs_ =
         std::chrono::duration<double, std::milli>(elapsed).count();
+    predictMsMetric_->record(lastPredictMs_);
+    scoreRowsMetric_->record(
+        static_cast<double>(records.size() * devices.size()));
     return all;
 }
 

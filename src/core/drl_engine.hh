@@ -21,6 +21,7 @@
 #include "nn/model_zoo.hh"
 #include "nn/optimizer.hh"
 #include "nn/sequential.hh"
+#include "util/metrics.hh"
 #include "util/random.hh"
 
 namespace geo {
@@ -155,6 +156,15 @@ class DrlEngine
     // Preallocated batch buffers, reused across prediction calls.
     nn::Matrix rowScratch_;     ///< 1 x Z raw row for the scalar shim
     nn::Matrix featureScratch_; ///< (F * D) x Z normalized batch
+
+    // Registry handles (resolved once; recording is lock-free).
+    util::Counter *trainStepsMetric_;
+    util::Counter *divergedMetric_;
+    util::Histogram *trainMsMetric_;
+    util::Histogram *trainRowsMetric_;
+    util::Histogram *predictMsMetric_;
+    util::Histogram *scoreRowsMetric_;
+    util::Gauge *valMaeMetric_;
 };
 
 } // namespace core

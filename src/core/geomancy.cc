@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace_event.hh"
 
 namespace geo {
 namespace core {
@@ -42,6 +43,13 @@ Geomancy::Geomancy(storage::StorageSystem &system,
         for (auto &agent : agents_)
             agent->observe(obs);
     });
+
+    auto &registry = util::MetricRegistry::global();
+    cyclesMetric_ = &registry.counter("geomancy.cycles");
+    cyclesExploredMetric_ = &registry.counter("geomancy.cycles_explored");
+    cyclesSkippedMetric_ = &registry.counter("geomancy.cycles_skipped");
+    movesProposedMetric_ = &registry.counter("geomancy.moves_proposed");
+    sanityVetoMetric_ = &registry.counter("geomancy.sanity_vetoes");
 }
 
 void
@@ -96,6 +104,7 @@ Geomancy::proposeMoves()
             // (moving there is how Geomancy learns about them).
             if (from_it != measured.end() && to_it != measured.end() &&
                 to_it->second < from_it->second) {
+                sanityVetoMetric_->inc();
                 continue;
             }
         }
@@ -126,44 +135,64 @@ Geomancy::explorationMoves()
 CycleReport
 Geomancy::runCycle()
 {
+    GEO_SPAN("cycle", "cycle");
+    GEO_TRACE_INSTANT("cycle", "decision_cycle", util::TimeDomain::Sim,
+                      system_.clock().now());
     CycleReport report;
     ++cycles_;
-    flushAgents();
+    cyclesMetric_->inc();
+    {
+        GEO_SPAN("cycle", "monitor");
+        flushAgents();
+    }
 
     if (db_->accessCount() <
         static_cast<int64_t>(config_.minHistory)) {
         report.skipped = true;
+        cyclesSkippedMetric_->inc();
         return report;
     }
 
-    TrainingBatch batch =
-        daemon_->buildTrainingBatch(system_.deviceIds());
-    report.retrain = engine_->retrain(batch);
+    {
+        GEO_SPAN("cycle", "train");
+        TrainingBatch batch =
+            daemon_->buildTrainingBatch(system_.deviceIds());
+        report.retrain = engine_->retrain(batch);
+    }
     if (!report.retrain.trained || report.retrain.diverged) {
         report.skipped = true;
+        cyclesSkippedMetric_->inc();
         return report;
     }
 
     std::vector<CheckedMove> moves;
-    if (rng_.chance(config_.explorationRate)) {
-        report.explored = true;
-        moves = explorationMoves();
-    } else {
-        moves = proposeMoves();
-    }
-    report.proposedMoves = moves.size();
-    if (scheduler_) {
-        moves = scheduler_->admitAll(std::move(moves),
-                                     system_.clock().now());
+    {
+        GEO_SPAN("cycle", "propose");
+        if (rng_.chance(config_.explorationRate)) {
+            report.explored = true;
+            cyclesExploredMetric_->inc();
+            moves = explorationMoves();
+        } else {
+            moves = proposeMoves();
+        }
+        report.proposedMoves = moves.size();
+        movesProposedMetric_->add(moves.size());
+        if (scheduler_) {
+            moves = scheduler_->admitAll(std::move(moves),
+                                         system_.clock().now());
+        }
     }
     if (moves.empty() && control_->pendingRetries() == 0)
         return report;
 
-    std::vector<MoveRequest> requests;
-    requests.reserve(moves.size());
-    for (const CheckedMove &move : moves)
-        requests.push_back({move.file, move.to});
-    report.moves = control_->apply(requests);
+    {
+        GEO_SPAN("cycle", "migrate");
+        std::vector<MoveRequest> requests;
+        requests.reserve(moves.size());
+        for (const CheckedMove &move : moves)
+            requests.push_back({move.file, move.to});
+        report.moves = control_->apply(requests);
+    }
     report.acted = report.moves.applied > 0;
 
     // Let the scheduler's circuit breaker learn from move fates:

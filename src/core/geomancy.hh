@@ -26,6 +26,7 @@
 #include "core/movement_scheduler.hh"
 #include "core/replay_db.hh"
 #include "storage/system.hh"
+#include "util/metrics.hh"
 #include "util/random.hh"
 
 namespace geo {
@@ -138,6 +139,13 @@ class Geomancy
     std::unique_ptr<MovementScheduler> scheduler_; ///< optional
     std::vector<std::unique_ptr<MonitoringAgent>> agents_;
     size_t cycles_ = 0;
+
+    // Registry handles for the decision-cycle counters.
+    util::Counter *cyclesMetric_;
+    util::Counter *cyclesExploredMetric_;
+    util::Counter *cyclesSkippedMetric_;
+    util::Counter *movesProposedMetric_;
+    util::Counter *sanityVetoMetric_;
 
     /** Flush all agents' pending batches into the ReplayDB. */
     void flushAgents();

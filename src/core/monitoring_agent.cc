@@ -14,6 +14,10 @@ MonitoringAgent::MonitoringAgent(storage::DeviceId device, BatchSink sink,
     if (batchSize_ == 0)
         panic("MonitoringAgent: batch size must be >= 1");
     pending_.reserve(batchSize_);
+    auto &registry = util::MetricRegistry::global();
+    recordsMetric_ = &registry.counter("monitor.records_observed");
+    batchesMetric_ = &registry.counter("monitor.batches_sent");
+    batchSizeMetric_ = &registry.histogram("monitor.batch_size");
 }
 
 void
@@ -23,6 +27,7 @@ MonitoringAgent::observe(const storage::AccessObservation &obs)
         return;
     pending_.push_back(PerfRecord::fromObservation(obs));
     ++observed_;
+    recordsMetric_->inc();
     if (pending_.size() >= batchSize_)
         flush();
 }
@@ -34,6 +39,8 @@ MonitoringAgent::flush()
         return;
     sink_(pending_);
     ++batches_;
+    batchesMetric_->inc();
+    batchSizeMetric_->record(static_cast<double>(pending_.size()));
     pending_.clear();
 }
 

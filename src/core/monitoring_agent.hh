@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/perf_record.hh"
+#include "util/metrics.hh"
 
 namespace geo {
 namespace core {
@@ -57,6 +58,12 @@ class MonitoringAgent
     std::vector<PerfRecord> pending_;
     uint64_t observed_ = 0;
     uint64_t batches_ = 0;
+
+    // Registry handles, resolved once so observe() stays allocation-
+    // and lookup-free (all agents aggregate into the same metrics).
+    util::Counter *recordsMetric_;
+    util::Counter *batchesMetric_;
+    util::Histogram *batchSizeMetric_;
 };
 
 } // namespace core

@@ -30,6 +30,16 @@ MovementScheduler::MovementScheduler(storage::StorageSystem &system,
         panic("MovementScheduler: negative cooldown");
     if (config_.gapSafetyFactor < 1.0)
         panic("MovementScheduler: gap safety factor must be >= 1");
+    auto &registry = util::MetricRegistry::global();
+    admittedMetric_ = &registry.counter("scheduler.admitted");
+    rejectedCooldownMetric_ =
+        &registry.counter("scheduler.rejected_cooldown");
+    rejectedGapMetric_ = &registry.counter("scheduler.rejected_gap");
+    rejectedBreakerMetric_ =
+        &registry.counter("scheduler.rejected_breaker");
+    breakerTripsMetric_ = &registry.counter("scheduler.breaker_trips");
+    breakerProbesMetric_ = &registry.counter("scheduler.breaker_probes");
+    breakerClosesMetric_ = &registry.counter("scheduler.breaker_closes");
 }
 
 double
@@ -83,6 +93,7 @@ MovementScheduler::breakerAdmits(storage::DeviceId target, double now)
         if (breaker.probeInFlight)
             return false;
         breaker.probeInFlight = true;
+        breakerProbesMetric_->inc();
         return true;
     }
     return true;
@@ -114,9 +125,11 @@ MovementScheduler::recordMoveOutcome(storage::DeviceId target,
     Breaker &breaker = breakers_[target];
     if (success) {
         // Any success proves the device is taking writes again.
-        if (breaker.state != BreakerState::Closed)
+        if (breaker.state != BreakerState::Closed) {
             inform("scheduler: breaker for device %u closed at t=%.1f",
                    (unsigned)target, now);
+            breakerClosesMetric_->inc();
+        }
         breaker.state = BreakerState::Closed;
         breaker.probeInFlight = false;
         breaker.failures.clear();
@@ -127,6 +140,7 @@ MovementScheduler::recordMoveOutcome(storage::DeviceId target,
         breaker.state = BreakerState::Open;
         breaker.openedAt = now;
         breaker.probeInFlight = false;
+        breakerTripsMetric_->inc();
         warn("scheduler: probe move onto device %u failed, breaker "
              "re-opened", (unsigned)target);
         return;
@@ -137,6 +151,7 @@ MovementScheduler::recordMoveOutcome(storage::DeviceId target,
         breaker.failures.size() >= config_.breaker.failureThreshold) {
         breaker.state = BreakerState::Open;
         breaker.openedAt = now;
+        breakerTripsMetric_->inc();
         warn("scheduler: breaker for device %u opened after %zu "
              "failures in %.0f s", (unsigned)target,
              breaker.failures.size(), config_.breaker.windowSeconds);
@@ -150,6 +165,7 @@ MovementScheduler::admit(const CheckedMove &move, double now)
     if (it != lastMove_.end() &&
         now - it->second < config_.fileCooldownSeconds) {
         ++rejectedCooldown_;
+        rejectedCooldownMetric_->inc();
         return false;
     }
     if (config_.checkGaps) {
@@ -157,6 +173,7 @@ MovementScheduler::admit(const CheckedMove &move, double now)
         if (!gaps_.fitsInGap(move.file, transfer,
                              config_.gapSafetyFactor)) {
             ++rejectedGap_;
+            rejectedGapMetric_->inc();
             return false;
         }
     }
@@ -164,9 +181,11 @@ MovementScheduler::admit(const CheckedMove &move, double now)
     // be consumed by a move that will actually execute.
     if (!breakerAdmits(move.to, now)) {
         ++rejectedBreaker_;
+        rejectedBreakerMetric_->inc();
         return false;
     }
     lastMove_[move.file] = now;
+    admittedMetric_->inc();
     return true;
 }
 

@@ -26,6 +26,7 @@
 #include "core/action_checker.hh"
 #include "core/gap_predictor.hh"
 #include "storage/system.hh"
+#include "util/metrics.hh"
 
 namespace geo {
 namespace core {
@@ -124,6 +125,16 @@ class MovementScheduler
     uint64_t rejectedCooldown_ = 0;
     uint64_t rejectedGap_ = 0;
     uint64_t rejectedBreaker_ = 0;
+
+    // Registry mirrors of the per-instance counters, plus breaker
+    // state transitions (trips/probes/closes) for the fig7 summary.
+    util::Counter *admittedMetric_;
+    util::Counter *rejectedCooldownMetric_;
+    util::Counter *rejectedGapMetric_;
+    util::Counter *rejectedBreakerMetric_;
+    util::Counter *breakerTripsMetric_;
+    util::Counter *breakerProbesMetric_;
+    util::Counter *breakerClosesMetric_;
 
     /** Admission decision of the breaker for a move onto `target`. */
     bool breakerAdmits(storage::DeviceId target, double now);

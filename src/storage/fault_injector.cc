@@ -4,6 +4,8 @@
 
 #include "storage/system.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/trace_event.hh"
 
 namespace geo {
 namespace storage {
@@ -50,6 +52,8 @@ FaultInjector::FaultInjector(StorageSystem &system,
         validateEvent(event, system_.deviceCount());
     wasActive_.assign(schedule_.size(), false);
     errorProb_.assign(system_.deviceCount(), 0.0);
+    injectedFailuresMetric_ =
+        &util::MetricRegistry::global().counter("faults.injected_failures");
     applyState(0.0);
 }
 
@@ -95,6 +99,12 @@ FaultInjector::applyState(double now)
             inform("fault %s on device %u %s at t=%.1f",
                    faultKindName(event.kind), event.device,
                    active ? "begins" : "ends", now);
+            util::MetricRegistry::global()
+                .counter("faults.transitions")
+                .inc();
+            GEO_TRACE_INSTANT("fault",
+                              active ? "fault_begins" : "fault_ends",
+                              util::TimeDomain::Sim, now);
             for (const TransitionHook &hook : hooks_)
                 hook(event, active, now);
         }
@@ -130,8 +140,10 @@ FaultInjector::shouldFailAccess(DeviceId device)
     if (p <= 0.0)
         return false;
     bool fail = rng_.chance(p);
-    if (fail)
+    if (fail) {
         ++injectedFailures_;
+        injectedFailuresMetric_->inc();
+    }
     return fail;
 }
 

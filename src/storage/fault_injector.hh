@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "storage/device.hh"
+#include "util/metrics.hh"
 #include "util/random.hh"
 
 namespace geo {
@@ -128,6 +129,7 @@ class FaultInjector
     double now_ = 0.0;
     std::vector<double> errorProb_; ///< per device, current state
     uint64_t injectedFailures_ = 0;
+    util::Counter *injectedFailuresMetric_; ///< registry mirror
 
     void applyState(double now);
 };

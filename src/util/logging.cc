@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace geo {
@@ -10,6 +11,15 @@ namespace geo {
 namespace {
 
 std::atomic<LogLevel> globalLevel{LogLevel::Normal};
+
+/** Serializes writes so concurrent ThreadPool workers cannot shear a
+ *  message mid-line. */
+std::mutex &
+emitMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 std::string
 vformat(const char *fmt, va_list args)
@@ -28,8 +38,12 @@ vformat(const char *fmt, va_list args)
 void
 emit(const char *prefix, const char *fmt, va_list args)
 {
-    std::string body = vformat(fmt, args);
-    std::fprintf(stderr, "%s%s\n", prefix, body.c_str());
+    // Format outside the lock, then emit prefix + body + newline as a
+    // single locked write: interleaved workers get whole lines.
+    std::string line = prefix + vformat(fmt, args);
+    line.push_back('\n');
+    std::lock_guard<std::mutex> lock(emitMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace
@@ -49,11 +63,22 @@ logLevel()
 void
 inform(const char *fmt, ...)
 {
-    if (logLevel() != LogLevel::Verbose)
+    if (logLevel() < LogLevel::Verbose)
         return;
     va_list args;
     va_start(args, fmt);
     emit("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("debug: ", fmt, args);
     va_end(args);
 }
 

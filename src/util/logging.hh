@@ -16,11 +16,13 @@
 
 namespace geo {
 
-/** Verbosity levels for the global logger. */
+/** Verbosity levels for the global logger (each includes the ones
+ *  above it). */
 enum class LogLevel {
     Quiet,   ///< only fatal/panic messages
     Normal,  ///< warn + fatal/panic
     Verbose, ///< inform + warn + fatal/panic
+    Debug,   ///< debug + inform + warn + fatal/panic
 };
 
 /** Set the global log verbosity. Thread-safe for concurrent readers. */
@@ -31,6 +33,10 @@ LogLevel logLevel();
 
 /** Print an informational message (printf-style) when verbose. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a high-volume diagnostic message (printf-style) at the Debug
+ *  tier; the instrumentation layer's narration channel. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print a warning about a survivable but suspicious condition. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

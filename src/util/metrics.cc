@@ -1,0 +1,368 @@
+#include "util/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace util {
+
+namespace {
+
+/** Relaxed-CAS add for atomic<double> (no fetch_add before C++20 on
+ *  all targets; this compiles everywhere we build). */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMin(std::atomic<double> &target, double value)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (value < expected &&
+           !target.compare_exchange_weak(expected, value,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMax(std::atomic<double> &target, double value)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (value > expected &&
+           !target.compare_exchange_weak(expected, value,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+/** Print a double so it JSON-round-trips (shortest exact form). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::string out = strprintf("%.17g", v);
+    // Try shorter representations that still parse back exactly.
+    for (int precision = 1; precision < 17; ++precision) {
+        std::string candidate = strprintf("%.*g", precision, v);
+        if (std::stod(candidate) == v)
+            return candidate;
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Prometheus metric name: dots/dashes to underscores, geo_ prefix. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "geo_";
+    for (char c : name)
+        out.push_back((c == '.' || c == '-') ? '_' : c);
+    return out;
+}
+
+} // namespace
+
+size_t
+Histogram::bucketIndex(double value)
+{
+    if (!(value > 0.0) || !std::isfinite(value))
+        return 0; // zero, negatives, NaN -> underflow bucket
+    int exp = static_cast<int>(std::floor(std::log2(value)));
+    if (exp < kMinExp)
+        return 0;
+    if (exp >= kMaxExp)
+        return kBucketCount - 1;
+    return static_cast<size_t>(exp - kMinExp) + 1;
+}
+
+double
+Histogram::bucketLowerBound(size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    return std::ldexp(1.0, kMinExp + static_cast<int>(index) - 1);
+}
+
+double
+Histogram::bucketUpperBound(size_t index)
+{
+    if (index >= kBucketCount - 1)
+        return std::numeric_limits<double>::infinity();
+    return std::ldexp(1.0, kMinExp + static_cast<int>(index));
+}
+
+void
+Histogram::record(double value)
+{
+    buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t before = count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, value);
+    if (before == 0) {
+        // First observation seeds min/max; racing recorders converge
+        // via the CAS loops below.
+        min_.store(value, std::memory_order_relaxed);
+        max_.store(value, std::memory_order_relaxed);
+    }
+    atomicMin(min_, value);
+    atomicMax(max_, value);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    uint64_t counts[kBucketCount];
+    uint64_t total = 0;
+    for (size_t i = 0; i < kBucketCount; ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += counts[i];
+    }
+    if (total == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * static_cast<double>(total);
+    double lo = min_.load(std::memory_order_relaxed);
+    double hi = max_.load(std::memory_order_relaxed);
+
+    double cumulative = 0.0;
+    for (size_t i = 0; i < kBucketCount; ++i) {
+        if (counts[i] == 0)
+            continue;
+        double next = cumulative + static_cast<double>(counts[i]);
+        if (next >= target) {
+            double bucket_lo = std::max(bucketLowerBound(i), lo);
+            double bucket_hi = std::min(bucketUpperBound(i), hi);
+            if (!(bucket_hi > bucket_lo))
+                return std::clamp(bucket_lo, lo, hi);
+            double within =
+                (target - cumulative) / static_cast<double>(counts[i]);
+            return std::clamp(
+                bucket_lo + within * (bucket_hi - bucket_lo), lo, hi);
+        }
+        cumulative = next;
+    }
+    return hi;
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    if (snap.count > 0) {
+        snap.min = min_.load(std::memory_order_relaxed);
+        snap.max = max_.load(std::memory_order_relaxed);
+        snap.p50 = quantile(0.50);
+        snap.p95 = quantile(0.95);
+        snap.p99 = quantile(0.99);
+    }
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+MetricRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricRegistry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        out.emplace_back(name, counter->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricRegistry::gauges() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, gauge] : gauges_)
+        out.emplace_back(name, gauge->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricRegistry::histograms() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, HistogramSnapshot>> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, histogram] : histograms_)
+        out.emplace_back(name, histogram->snapshot());
+    return out;
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    std::vector<std::pair<std::string, uint64_t>> counter_rows =
+        counters();
+    std::vector<std::pair<std::string, double>> gauge_rows = gauges();
+    std::vector<std::pair<std::string, HistogramSnapshot>> histo_rows =
+        histograms();
+
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"geo-metrics-1\",\n";
+    out << "  \"counters\": {";
+    for (size_t i = 0; i < counter_rows.size(); ++i) {
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << jsonEscape(counter_rows[i].first)
+            << "\": " << counter_rows[i].second;
+    }
+    out << (counter_rows.empty() ? "},\n" : "\n  },\n");
+    out << "  \"gauges\": {";
+    for (size_t i = 0; i < gauge_rows.size(); ++i) {
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << jsonEscape(gauge_rows[i].first)
+            << "\": " << jsonNumber(gauge_rows[i].second);
+    }
+    out << (gauge_rows.empty() ? "},\n" : "\n  },\n");
+    out << "  \"histograms\": {";
+    for (size_t i = 0; i < histo_rows.size(); ++i) {
+        const HistogramSnapshot &h = histo_rows[i].second;
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << jsonEscape(histo_rows[i].first) << "\": {\"count\": "
+            << h.count << ", \"sum\": " << jsonNumber(h.sum)
+            << ", \"min\": " << jsonNumber(h.min)
+            << ", \"max\": " << jsonNumber(h.max)
+            << ", \"p50\": " << jsonNumber(h.p50)
+            << ", \"p95\": " << jsonNumber(h.p95)
+            << ", \"p99\": " << jsonNumber(h.p99) << "}";
+    }
+    out << (histo_rows.empty() ? "}\n" : "\n  }\n");
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+MetricRegistry::toPrometheus() const
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : counters()) {
+        std::string prom = promName(name);
+        out << "# TYPE " << prom << " counter\n"
+            << prom << " " << value << "\n";
+    }
+    for (const auto &[name, value] : gauges()) {
+        std::string prom = promName(name);
+        out << "# TYPE " << prom << " gauge\n"
+            << prom << " " << jsonNumber(value) << "\n";
+    }
+    for (const auto &[name, snap] : histograms()) {
+        std::string prom = promName(name);
+        out << "# TYPE " << prom << " summary\n";
+        out << prom << "{quantile=\"0.5\"} " << jsonNumber(snap.p50)
+            << "\n";
+        out << prom << "{quantile=\"0.95\"} " << jsonNumber(snap.p95)
+            << "\n";
+        out << prom << "{quantile=\"0.99\"} " << jsonNumber(snap.p99)
+            << "\n";
+        out << prom << "_sum " << jsonNumber(snap.sum) << "\n";
+        out << prom << "_count " << snap.count << "\n";
+    }
+    return out.str();
+}
+
+bool
+MetricRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+} // namespace util
+} // namespace geo

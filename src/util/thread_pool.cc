@@ -1,6 +1,7 @@
 #include "util/thread_pool.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -19,6 +20,10 @@ thread_local const ThreadPool *t_worker_pool = nullptr;
 
 ThreadPool::ThreadPool(size_t workers)
 {
+    auto &registry = MetricRegistry::global();
+    tasksMetric_ = &registry.counter("pool.tasks");
+    queueDepthMetric_ = &registry.gauge("pool.queue_depth");
+    taskMsMetric_ = &registry.histogram("pool.task_ms");
     if (workers == 0) {
         workers = std::thread::hardware_concurrency();
         if (workers == 0)
@@ -52,7 +57,9 @@ ThreadPool::enqueue(std::function<void()> task)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(task));
+        queueDepthMetric_->set(static_cast<double>(queue_.size()));
     }
+    tasksMetric_->inc();
     wake_.notify_one();
 }
 
@@ -70,8 +77,14 @@ ThreadPool::workerLoop()
                 return; // stopping and drained
             task = std::move(queue_.front());
             queue_.pop_front();
+            queueDepthMetric_->set(static_cast<double>(queue_.size()));
         }
+        auto start = std::chrono::steady_clock::now();
         task();
+        taskMsMetric_->record(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count());
     }
 }
 

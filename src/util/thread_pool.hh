@@ -31,6 +31,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/metrics.hh"
+
 namespace geo {
 namespace util {
 
@@ -107,6 +109,12 @@ class ThreadPool
     mutable std::mutex mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;
+
+    // Registry handles (resolved in the constructor, so the registry
+    // outlives every pool including the global one).
+    Counter *tasksMetric_;
+    Gauge *queueDepthMetric_;
+    Histogram *taskMsMetric_;
 };
 
 } // namespace util

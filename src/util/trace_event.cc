@@ -1,0 +1,180 @@
+#include "util/trace_event.hh"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace util {
+
+namespace {
+
+/** Small dense thread id for the trace (std::thread::id is opaque). */
+uint32_t
+currentTid()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t tid = next.fetch_add(1);
+    return tid;
+}
+
+int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Shortest %g form that still round-trips enough for a trace view. */
+std::string
+traceNumber(double v)
+{
+    return strprintf("%.6g", v);
+}
+
+} // namespace
+
+void
+TraceCollector::enable(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    events_.reserve(capacity == 0 ? 1 : capacity);
+    dropped_.store(0, std::memory_order_relaxed);
+    epochNs_.store(steadyNowNs(), std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+TraceCollector::disable()
+{
+    enabled_.store(false, std::memory_order_release);
+}
+
+void
+TraceCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+double
+TraceCollector::nowUs() const
+{
+    return static_cast<double>(
+               steadyNowNs() -
+               epochNs_.load(std::memory_order_relaxed)) /
+           1e3;
+}
+
+void
+TraceCollector::push(const Event &event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // capacity was fixed at enable(); growing here would allocate on
+    // the recording path, so a full buffer drops instead.
+    if (events_.size() >= events_.capacity()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    events_.push_back(event);
+}
+
+void
+TraceCollector::completeEvent(const char *cat, const char *name,
+                              TimeDomain domain, double ts, double dur)
+{
+    if (!enabled())
+        return;
+    push({cat, name, ts, dur, 0.0, currentTid(), 'X', domain});
+}
+
+void
+TraceCollector::instantEvent(const char *cat, const char *name,
+                             TimeDomain domain, double ts)
+{
+    if (!enabled())
+        return;
+    push({cat, name, ts, 0.0, 0.0, currentTid(), 'i', domain});
+}
+
+void
+TraceCollector::counterEvent(const char *name, TimeDomain domain,
+                             double ts, double value)
+{
+    if (!enabled())
+        return;
+    push({"counter", name, ts, 0.0, value, currentTid(), 'C', domain});
+}
+
+size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::string
+TraceCollector::toJson() const
+{
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events = events_;
+    }
+
+    std::ostringstream out;
+    out << "{\"traceEvents\":[\n";
+    // Process metadata so Perfetto labels the two time domains.
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":"
+           "\"process_name\",\"args\":{\"name\":"
+           "\"geomancy host (steady clock)\"}},\n";
+    out << "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":"
+           "\"process_name\",\"args\":{\"name\":"
+           "\"geomancy sim (SimClock)\"}}";
+    for (const Event &event : events) {
+        const bool sim = event.domain == TimeDomain::Sim;
+        const int pid = sim ? 2 : 1;
+        // Sim timestamps are seconds; the trace format wants us.
+        const double scale = sim ? 1e6 : 1.0;
+        out << ",\n{\"ph\":\"" << event.phase << "\",\"pid\":" << pid
+            << ",\"tid\":" << (sim ? 0 : event.tid)
+            << ",\"ts\":" << traceNumber(event.ts * scale)
+            << ",\"cat\":\"" << event.cat << "\",\"name\":\""
+            << event.name << "\"";
+        if (event.phase == 'X')
+            out << ",\"dur\":" << traceNumber(event.dur * scale);
+        else if (event.phase == 'i')
+            out << ",\"s\":\"t\"";
+        else if (event.phase == 'C')
+            out << ",\"args\":{\"value\":" << traceNumber(event.value)
+                << "}";
+        out << "}";
+    }
+    out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out.str();
+}
+
+bool
+TraceCollector::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+TraceCollector &
+TraceCollector::global()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+} // namespace util
+} // namespace geo

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * A deliberately tiny recursive-descent JSON parser for tests: enough
+ * to check well-formedness of the metrics/trace exports and to pull
+ * scalar values back out, with no third-party dependency.
+ */
+
+#ifndef GEO_TESTS_MINIJSON_HH
+#define GEO_TESTS_MINIJSON_HH
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace geo {
+namespace testjson {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    /** Parse the whole document; false on any syntax error. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            if (std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                digits = true;
+            ++pos_;
+        }
+        return digits && pos_ > start;
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+};
+
+/** Whole-document well-formedness check. */
+inline bool
+validJson(const std::string &text)
+{
+    return Parser(text).valid();
+}
+
+/**
+ * Pull the numeric value of `"key": <number>` after the first match of
+ * the quoted key. Returns NaN when absent (good enough for flat test
+ * lookups; keys in nested objects must be unique in the document).
+ */
+inline double
+numberAfterKey(const std::string &text, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return std::nan("");
+    return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+} // namespace testjson
+} // namespace geo
+
+#endif // GEO_TESTS_MINIJSON_HH

@@ -3,6 +3,10 @@
  * Unit tests for the logging helpers.
  */
 
+#include <sstream>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "util/logging.hh"
@@ -34,6 +38,67 @@ TEST(Logging, LogLevelRoundTrip)
     setLogLevel(LogLevel::Quiet);
     EXPECT_EQ(logLevel(), LogLevel::Quiet);
     setLogLevel(old);
+}
+
+TEST(Logging, LevelTiersAreOrdered)
+{
+    EXPECT_LT(static_cast<int>(LogLevel::Quiet),
+              static_cast<int>(LogLevel::Normal));
+    EXPECT_LT(static_cast<int>(LogLevel::Normal),
+              static_cast<int>(LogLevel::Verbose));
+    EXPECT_LT(static_cast<int>(LogLevel::Verbose),
+              static_cast<int>(LogLevel::Debug));
+}
+
+TEST(Logging, DebugGatedByLevel)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Verbose);
+    testing::internal::CaptureStderr();
+    debug("hidden %d", 1);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    debug("visible %d", 2);
+    inform("still informative"); // Debug implies Verbose
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("debug: visible 2\n"), std::string::npos);
+    EXPECT_NE(out.find("info: still informative\n"), std::string::npos);
+    setLogLevel(old);
+}
+
+TEST(Logging, ConcurrentWritersEmitWholeLines)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Normal);
+    testing::internal::CaptureStderr();
+    constexpr int kThreads = 4;
+    constexpr int kMessages = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t]() {
+            for (int i = 0; i < kMessages; ++i)
+                warn("thread %d message %d suffix", t, i);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    std::string out = testing::internal::GetCapturedStderr();
+    setLogLevel(old);
+
+    // Concurrent writers may interleave *lines*, never characters:
+    // every line must be one complete message.
+    size_t lines = 0;
+    std::istringstream stream(out);
+    std::string line;
+    while (std::getline(stream, line)) {
+        ++lines;
+        ASSERT_EQ(line.rfind("warn: thread ", 0), 0u) << line;
+        ASSERT_GE(line.size(), 7u);
+        ASSERT_EQ(line.substr(line.size() - 7), " suffix") << line;
+    }
+    EXPECT_EQ(lines, static_cast<size_t>(kThreads) * kMessages);
 }
 
 TEST(LoggingDeathTest, PanicAborts)

@@ -3,7 +3,8 @@
 # reduced (quick) mode and validate the BENCH_perf.json it emits
 # against the geo-perf-1 schema.  Catches a broken perf harness (or a
 # benchmark that stopped emitting a section) without paying for the
-# full measurement run.
+# full measurement run.  Also runs geomancy_sim with --metrics-json
+# and validates the geo-metrics-1 snapshot schema end to end.
 #
 # Usage: tools/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -77,10 +78,63 @@ for entry in scaling:
         if key not in entry:
             fail(f"model_search_scaling entry missing {key}: {entry}")
 
+overhead = doc.get("metrics_overhead")
+if not isinstance(overhead, dict):
+    fail("metrics_overhead section missing")
+for key in ("counter_ns", "histogram_ns", "plain_loop_ns"):
+    if key not in overhead:
+        fail(f"metrics_overhead missing {key}")
+    if overhead[key] < 0:
+        fail(f"metrics_overhead {key} must be non-negative")
+
 print("bench_smoke: BENCH_perf.json schema OK "
       f"({len(gemm)} gemm sizes, scoring speedup "
       f"{scoring['speedup']:.2f}x, bitwise_equal="
-      f"{scoring['bitwise_equal']})")
+      f"{scoring['bitwise_equal']}, counter overhead "
+      f"{overhead['counter_ns']:.1f} ns)")
 EOF
+
+sim="${build_dir}/tools/geomancy_sim"
+if [[ -x "${sim}" ]]; then
+    metrics="$(mktemp /tmp/geo_metrics.XXXXXX.json)"
+    trap 'rm -f "${out}" "${metrics}"' EXIT
+
+    echo "== running geomancy_sim --metrics-json =="
+    "${sim}" --policy geomancy --runs 3 --warmup 1 --epochs 4 --quiet \
+        --metrics-json "${metrics}"
+
+    echo "== validating ${metrics} =="
+    python3 - "${metrics}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+def fail(message):
+    print(f"bench_smoke: {message}", file=sys.stderr)
+    sys.exit(1)
+
+if doc.get("schema") != "geo-metrics-1":
+    fail(f"unexpected metrics schema {doc.get('schema')!r}")
+for section in ("counters", "gauges", "histograms"):
+    if not isinstance(doc.get(section), dict):
+        fail(f"metrics snapshot missing {section} object")
+
+counters = doc["counters"]
+for name in ("geomancy.cycles", "monitor.records_observed"):
+    if counters.get(name, 0) <= 0:
+        fail(f"counter {name} should be positive after a run")
+for name, hist in doc["histograms"].items():
+    for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+        if key not in hist:
+            fail(f"histogram {name} missing {key}")
+
+print(f"bench_smoke: metrics snapshot OK ({len(counters)} counters, "
+      f"{len(doc['histograms'])} histograms)")
+EOF
+else
+    echo "bench_smoke.sh: ${sim} not built, skipping metrics check" >&2
+fi
 
 echo "== bench_smoke.sh: OK =="

@@ -4,7 +4,11 @@
 # suite under it.  Intended as a pre-merge check; the regular build tree
 # (build/) is left untouched.
 #
-# With GEO_NATIVE=1 a second phase builds the shipping configuration
+# A second phase configures with -DGEO_TRACE=OFF and runs the suite
+# again: the tracing macros must compile out cleanly (no code may
+# depend on side effects inside GEO_SPAN and friends).
+#
+# With GEO_NATIVE=1 a third phase builds the shipping configuration
 # (-O3 -march=native, Matrix bounds checks off) and runs the tests
 # again: the fast build must pass the same suite it ships with.
 #
@@ -29,6 +33,20 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 echo "== check.sh: all tests passed under address;undefined =="
+
+notrace_dir="${repo_root}/build-notrace"
+echo "== configuring GEO_TRACE=OFF build in ${notrace_dir} =="
+cmake -S "${repo_root}" -B "${notrace_dir}" \
+    -DGEO_TRACE=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== building GEO_TRACE=OFF (${jobs} jobs) =="
+cmake --build "${notrace_dir}" -j "${jobs}"
+
+echo "== running tier-1 tests with tracing compiled out =="
+ctest --test-dir "${notrace_dir}" --output-on-failure -j "${jobs}"
+
+echo "== check.sh: GEO_TRACE=OFF build passed =="
 
 if [[ "${GEO_NATIVE:-0}" == "1" ]]; then
     native_dir="${repo_root}/build-native"

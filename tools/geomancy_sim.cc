@@ -9,22 +9,32 @@
  * Usage:
  *   geomancy_sim [--policy NAME] [--runs N] [--warmup N] [--cadence N]
  *                [--seed N] [--epochs N] [--csv FILE] [--series FILE]
- *                [--scheduler] [--quiet]
+ *                [--scheduler] [--faults] [--metrics-json FILE]
+ *                [--metrics-prom FILE] [--trace-out FILE] [--quiet]
+ *
+ * --faults degrades the "var" mount from t=0 (fig7-style rebuild:
+ * bandwidth loss + transient I/O errors), so evacuation migrations
+ * abort and the retry/backoff machinery becomes observable.
  *
  * Policies: geomancy, geomancy-static, lru, mru, lfu, random,
  *           random-static, noop, mount:<name> (e.g. mount:file0)
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/experiment.hh"
 #include "storage/bluesky.hh"
+#include "storage/fault_injector.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/table.hh"
+#include "util/trace_event.hh"
 #include "workload/belle2.hh"
 
 namespace {
@@ -41,7 +51,11 @@ struct Options
     size_t epochs = 20;
     std::string csvPath;    ///< summary CSV
     std::string seriesPath; ///< per-bucket series CSV
+    std::string metricsJsonPath; ///< metric registry snapshot (JSON)
+    std::string metricsPromPath; ///< same, Prometheus text format
+    std::string tracePath;  ///< Chrome trace JSON (Perfetto-viewable)
     bool scheduler = false;
+    bool faults = false;    ///< degrade the "var" mount mid-run
     bool quiet = false;
 };
 
@@ -59,8 +73,14 @@ usage()
         "  --seed N        master seed (default 7)\n"
         "  --epochs N      DRL retraining epochs (default 20)\n"
         "  --scheduler     enable the movement scheduler (gap + cooldown)\n"
+        "  --faults        degrade the 'var' mount (bandwidth +\n"
+        "                  transient errors) to exercise retries\n"
         "  --csv FILE      append a one-line summary as CSV\n"
         "  --series FILE   write the bucketed throughput series as CSV\n"
+        "  --metrics-json FILE   write the metric registry as JSON\n"
+        "  --metrics-prom FILE   write the metrics in Prometheus text\n"
+        "  --trace-out FILE      write a Chrome trace (view in Perfetto\n"
+        "                        or chrome://tracing)\n"
         "  --quiet         suppress warnings\n";
 }
 
@@ -90,8 +110,16 @@ parse(int argc, char **argv, Options &options)
             options.csvPath = next("--csv");
         else if (arg == "--series")
             options.seriesPath = next("--series");
+        else if (arg == "--metrics-json")
+            options.metricsJsonPath = next("--metrics-json");
+        else if (arg == "--metrics-prom")
+            options.metricsPromPath = next("--metrics-prom");
+        else if (arg == "--trace-out")
+            options.tracePath = next("--trace-out");
         else if (arg == "--scheduler")
             options.scheduler = true;
+        else if (arg == "--faults")
+            options.faults = true;
         else if (arg == "--quiet")
             options.quiet = true;
         else if (arg == "--help" || arg == "-h") {
@@ -115,8 +143,47 @@ main(int argc, char **argv)
     if (options.quiet)
         setLogLevel(LogLevel::Quiet);
 
+    // Start from a clean registry so the exported snapshot describes
+    // exactly this run; arm the tracer before any instrumented code.
+    util::MetricRegistry::global().reset();
+    if (!options.tracePath.empty())
+        util::TraceCollector::global().enable();
+
     auto system = storage::makeBlueskySystem(options.seed);
     workload::Belle2Workload workload(*system);
+
+    std::unique_ptr<storage::FaultInjector> injector;
+    if (options.faults) {
+        storage::FaultInjectorConfig fconfig;
+        fconfig.seed = options.seed * 1000003 + 13;
+        injector =
+            std::make_unique<storage::FaultInjector>(*system, fconfig);
+        system->attachFaultInjector(injector.get());
+
+        // Mirror the fig7 scenario, live from t=0: the "var" mount is
+        // in a rebuild (degraded bandwidth) and throws transient I/O
+        // errors for the whole experiment.  It must be active before
+        // the first rebalance — evacuating the degraded mount is
+        // exactly the traffic that exercises the retry machinery.
+        storage::DeviceId victim = system->deviceByName("var");
+        storage::FaultEvent degrade;
+        degrade.device = victim;
+        degrade.kind = storage::FaultKind::Degradation;
+        degrade.start = 0.0;
+        degrade.duration = 0.0; // the rebuild never finishes
+        degrade.magnitude = 0.45;
+        injector->addEvent(degrade);
+        storage::FaultEvent errors;
+        errors.device = victim;
+        errors.kind = storage::FaultKind::TransientErrors;
+        errors.start = 0.0;
+        errors.duration = 0.0;
+        // Hotter than fig7's 0.35: short CLI runs see few moves
+        // touch the victim, and the point of --faults is to make
+        // the retry/backoff path observable, not marginal.
+        errors.magnitude = 0.6;
+        injector->addEvent(errors);
+    }
 
     // Geomancy is constructed eagerly so its agents observe warmup
     // accesses even for the static variant.
@@ -208,6 +275,38 @@ main(int argc, char **argv)
             writer.writeRow({std::to_string(i),
                              strprintf("%.6g", buckets[i])});
         std::cout << "series written to " << options.seriesPath << "\n";
+    }
+    if (!options.metricsJsonPath.empty()) {
+        if (util::MetricRegistry::global().writeJsonFile(
+                options.metricsJsonPath))
+            std::cout << "metrics written to " << options.metricsJsonPath
+                      << "\n";
+        else
+            warn("could not write %s", options.metricsJsonPath.c_str());
+    }
+    if (!options.metricsPromPath.empty()) {
+        std::ofstream os(options.metricsPromPath);
+        if (os) {
+            os << util::MetricRegistry::global().toPrometheus();
+            std::cout << "metrics written to " << options.metricsPromPath
+                      << "\n";
+        } else {
+            warn("could not write %s", options.metricsPromPath.c_str());
+        }
+    }
+    if (!options.tracePath.empty()) {
+        util::TraceCollector &collector = util::TraceCollector::global();
+        collector.disable();
+        if (collector.writeJsonFile(options.tracePath)) {
+            std::cout << "trace written to " << options.tracePath << " ("
+                      << collector.eventCount() << " events";
+            if (collector.droppedCount() > 0)
+                std::cout << ", " << collector.droppedCount()
+                          << " dropped";
+            std::cout << ")\n";
+        } else {
+            warn("could not write %s", options.tracePath.c_str());
+        }
     }
     return 0;
 }
