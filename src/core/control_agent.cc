@@ -19,6 +19,7 @@ ControlAgent::ControlAgent(storage::StorageSystem &system, ReplayDb *db,
     skippedMetric_ = &registry.counter("control.moves_skipped");
     requeuedMetric_ = &registry.counter("control.moves_requeued");
     abandonedMetric_ = &registry.counter("control.moves_abandoned");
+    supersededMetric_ = &registry.counter("control.moves_superseded");
     retriesMetric_ = &registry.counter("control.retries");
     bytesMetric_ = &registry.counter("control.bytes_moved");
     backoffMetric_ = &registry.histogram("control.backoff_s");
@@ -164,6 +165,9 @@ ControlAgent::apply(const std::vector<MoveRequest> &moves)
 
     // A fresh request for a file supersedes its pending retry: the
     // model has newer information about where the file should live.
+    // Log the supersede so the attempt log's last entry per
+    // (file, target) no longer says Failed — restorePending() would
+    // otherwise resurrect a retry nobody owes anymore.
     if (!pending_.empty() && !moves.empty()) {
         auto superseded = [&moves](const Pending &p) {
             return std::any_of(moves.begin(), moves.end(),
@@ -171,6 +175,18 @@ ControlAgent::apply(const std::vector<MoveRequest> &moves)
                                    return m.file == p.req.file;
                                });
         };
+        for (const Pending &p : pending_) {
+            if (!superseded(p))
+                continue;
+            AppliedMove fate;
+            fate.file = p.req.file;
+            fate.from = system_.location(p.req.file);
+            fate.to = p.req.target;
+            fate.outcome = AttemptOutcome::Superseded;
+            fate.attempt = p.attempts + 1;
+            logAttempt(fate, 0);
+            supersededMetric_->inc();
+        }
         pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
                                       superseded),
                        pending_.end());
@@ -227,6 +243,15 @@ ControlAgent::restorePending()
     for (const auto &[key, entry] : last) {
         if (entry.outcome != AttemptOutcome::Failed)
             continue;
+        // Idempotency: a retry already in the queue (an earlier call,
+        // or a checkpoint restore) must not be queued twice.
+        bool queued = std::any_of(
+            pending_.begin(), pending_.end(), [&key](const Pending &p) {
+                return p.req.file == key.first &&
+                       p.req.target == key.second;
+            });
+        if (queued)
+            continue;
         Pending pend;
         pend.req.file = key.first;
         pend.req.target = key.second;
@@ -240,6 +265,51 @@ ControlAgent::restorePending()
         inform("control: restored %zu pending retr%s from the attempt "
                "log", restored, restored == 1 ? "y" : "ies");
     return restored;
+}
+
+void
+ControlAgent::saveState(util::StateWriter &w) const
+{
+    w.rng("control.rng", rng_);
+    w.u64("control.total_moves", totalMoves_);
+    w.u64("control.total_bytes", totalBytes_);
+    w.u64("control.total_abandoned", totalAbandoned_);
+    w.u64("control.pending", pending_.size());
+    for (const Pending &p : pending_) {
+        w.u64("pend.file", p.req.file);
+        w.u64("pend.target", p.req.target);
+        w.u64("pend.attempts", p.attempts);
+        w.f64("pend.first", p.firstAttempt);
+        w.f64("pend.next", p.nextAttempt);
+    }
+}
+
+void
+ControlAgent::loadState(util::StateReader &r)
+{
+    Rng::State rng = r.rng("control.rng");
+    uint64_t moves = r.u64("control.total_moves");
+    uint64_t bytes = r.u64("control.total_bytes");
+    uint64_t abandoned = r.u64("control.total_abandoned");
+    size_t count = r.u64("control.pending");
+    std::deque<Pending> pending;
+    for (size_t i = 0; i < count && r.ok(); ++i) {
+        Pending p;
+        p.req.file = r.u64("pend.file");
+        p.req.target =
+            static_cast<storage::DeviceId>(r.u64("pend.target"));
+        p.attempts = r.u64("pend.attempts");
+        p.firstAttempt = r.f64("pend.first");
+        p.nextAttempt = r.f64("pend.next");
+        pending.push_back(p);
+    }
+    if (!r.ok())
+        return;
+    rng_.setState(rng);
+    totalMoves_ = moves;
+    totalBytes_ = bytes;
+    totalAbandoned_ = abandoned;
+    pending_ = std::move(pending);
 }
 
 } // namespace core

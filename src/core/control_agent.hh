@@ -23,6 +23,7 @@
 #include "storage/system.hh"
 #include "util/metrics.hh"
 #include "util/random.hh"
+#include "util/state_io.hh"
 
 namespace geo {
 namespace core {
@@ -122,6 +123,14 @@ class ControlAgent
     uint64_t totalBytesMoved() const { return totalBytes_; }
     uint64_t totalAbandoned() const { return totalAbandoned_; }
 
+    /**
+     * Serialize the retry queue, jitter RNG and lifetime totals. A
+     * restore from this state is exact; restorePending() then becomes
+     * a consistency check, not the source of truth.
+     */
+    void saveState(util::StateWriter &w) const;
+    void loadState(util::StateReader &r);
+
   private:
     /** A fault-aborted move awaiting its next try. */
     struct Pending
@@ -148,6 +157,7 @@ class ControlAgent
     util::Counter *skippedMetric_;
     util::Counter *requeuedMetric_;
     util::Counter *abandonedMetric_;
+    util::Counter *supersededMetric_;
     util::Counter *retriesMetric_;
     util::Counter *bytesMetric_;
     util::Histogram *backoffMetric_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <sstream>
 
+#include "nn/serialize.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/trace_event.hh"
@@ -23,6 +25,8 @@ DrlEngine::DrlEngine(const DrlConfig &config)
     auto &registry = util::MetricRegistry::global();
     trainStepsMetric_ = &registry.counter("drl.train_steps");
     divergedMetric_ = &registry.counter("drl.diverged");
+    trainDivergedMetric_ = &registry.counter("drl.train.diverged");
+    rollbackMetric_ = &registry.counter("drl.train.rollbacks");
     trainMsMetric_ = &registry.histogram("drl.train_ms");
     trainRowsMetric_ = &registry.histogram("drl.train_rows");
     predictMsMetric_ = &registry.histogram("drl.predict_ms");
@@ -52,15 +56,30 @@ DrlEngine::retrain(const TrainingBatch &batch)
         model_.train(split.train, split.validation, optimizer_, options);
     stats.trained = true;
     stats.seconds = result.seconds;
-    stats.diverged = result.diverged || model_.looksDiverged(split.test);
+    // Guard against numerical poison: a non-finite loss, a probe set
+    // the model mangles, or NaN/Inf in the weights themselves.
+    stats.diverged = result.diverged ||
+                     model_.looksDiverged(split.test) || !weightsFinite();
     trainStepsMetric_->inc();
     trainMsMetric_->record(result.seconds * 1e3);
     trainRowsMetric_->record(static_cast<double>(split.train.size()));
     if (stats.diverged) {
+        divergedMetric_->inc();
+        trainDivergedMetric_->inc();
+        ready_ = false;
+        if (!lastGoodWeights_.empty()) {
+            // Roll back to the last finite weights so the poison does
+            // not compound across retrains or leak into proposeMoves.
+            std::istringstream is(lastGoodWeights_);
+            if (nn::loadWeights(model_, is)) {
+                rollbackMetric_->inc();
+                warn("DrlEngine: retrain diverged; rolled weights back "
+                     "to the last good cycle");
+                return stats;
+            }
+        }
         warn("DrlEngine: model diverged during retrain; predictions "
              "disabled until a successful cycle");
-        divergedMetric_->inc();
-        ready_ = false;
         return stats;
     }
 
@@ -90,8 +109,23 @@ DrlEngine::retrain(const TrainingBatch &batch)
     } else {
         adjustSign_ = 0.0;
     }
+    {
+        std::ostringstream os;
+        if (nn::saveWeights(model_, os))
+            lastGoodWeights_ = os.str();
+    }
     ready_ = true;
     return stats;
+}
+
+bool
+DrlEngine::weightsFinite()
+{
+    for (const nn::Matrix *p : model_.parameters())
+        for (double v : p->data())
+            if (!std::isfinite(v))
+                return false;
+    return true;
 }
 
 double
@@ -195,6 +229,97 @@ DrlEngine::scoreLocations(const std::vector<PerfRecord> &records,
     scoreRowsMetric_->record(
         static_cast<double>(records.size() * devices.size()));
     return all;
+}
+
+namespace {
+
+/** The learned column ranges of a fitted normalizer. */
+void
+normalizerRanges(const trace::MinMaxNormalizer &n,
+                 std::vector<double> &mins, std::vector<double> &maxs)
+{
+    mins.clear();
+    maxs.clear();
+    for (size_t c = 0; c < n.columns(); ++c) {
+        mins.push_back(n.columnMin(c));
+        maxs.push_back(n.columnMax(c));
+    }
+}
+
+} // namespace
+
+void
+DrlEngine::saveState(util::StateWriter &w)
+{
+    w.rng("drl.rng", rng_);
+    std::ostringstream weights;
+    nn::saveWeights(model_, weights);
+    w.str("drl.weights", weights.str());
+    std::ostringstream opt;
+    util::StateWriter ow(opt);
+    optimizer_.saveState(ow);
+    w.str("drl.optimizer", opt.str());
+    w.boolean("drl.ready", ready_);
+    w.f64("drl.mae_fraction", maeFraction_);
+    w.f64("drl.adjust_sign", adjustSign_);
+    w.u64("drl.target", static_cast<uint64_t>(targetKind_));
+    w.str("drl.last_good", lastGoodWeights_);
+    // Batch scalers only: the dataset itself is transient retrain
+    // input, but predictions between retrains need the normalizers.
+    std::vector<double> mins, maxs;
+    normalizerRanges(batch_.featureNorm, mins, maxs);
+    w.f64Vec("drl.feat_mins", mins);
+    w.f64Vec("drl.feat_maxs", maxs);
+    normalizerRanges(batch_.targetNorm, mins, maxs);
+    w.f64Vec("drl.target_mins", mins);
+    w.f64Vec("drl.target_maxs", maxs);
+}
+
+void
+DrlEngine::loadState(util::StateReader &r)
+{
+    Rng::State rng = r.rng("drl.rng");
+    std::string weights = r.str("drl.weights");
+    std::string opt = r.str("drl.optimizer");
+    bool ready = r.boolean("drl.ready");
+    double mae = r.f64("drl.mae_fraction");
+    double sign = r.f64("drl.adjust_sign");
+    auto target = static_cast<ModelTarget>(r.u64("drl.target"));
+    std::string last_good = r.str("drl.last_good");
+    std::vector<double> feat_mins = r.f64Vec("drl.feat_mins");
+    std::vector<double> feat_maxs = r.f64Vec("drl.feat_maxs");
+    std::vector<double> target_mins = r.f64Vec("drl.target_mins");
+    std::vector<double> target_maxs = r.f64Vec("drl.target_maxs");
+    if (!r.ok())
+        return;
+    {
+        std::istringstream is(weights);
+        if (!nn::loadWeights(model_, is)) {
+            r.fail("drl: checkpointed weights do not fit the model");
+            return;
+        }
+    }
+    {
+        std::istringstream is(opt);
+        util::StateReader orr(is);
+        optimizer_.loadState(orr);
+        if (!orr.ok()) {
+            r.fail("drl: bad optimizer state: " + orr.error());
+            return;
+        }
+    }
+    rng_.setState(rng);
+    ready_ = ready;
+    maeFraction_ = mae;
+    adjustSign_ = sign;
+    targetKind_ = target;
+    lastGoodWeights_ = last_good;
+    batch_ = TrainingBatch{};
+    batch_.target = target;
+    batch_.featureNorm.restore(std::move(feat_mins),
+                               std::move(feat_maxs));
+    batch_.targetNorm.restore(std::move(target_mins),
+                              std::move(target_maxs));
 }
 
 } // namespace core

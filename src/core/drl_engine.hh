@@ -23,6 +23,7 @@
 #include "nn/sequential.hh"
 #include "util/metrics.hh"
 #include "util/random.hh"
+#include "util/state_io.hh"
 
 namespace geo {
 namespace core {
@@ -141,7 +142,20 @@ class DrlEngine
     const DrlConfig &config() const { return config_; }
     nn::Sequential &model() { return model_; }
 
+    /**
+     * Serialize weights, optimizer moments, RNG, batch scalers and the
+     * Section V-G adjustment state. Non-const because weight export
+     * walks the mutable parameter list.
+     */
+    void saveState(util::StateWriter &w);
+
+    /** Restore state saved by an identically-configured engine. */
+    void loadState(util::StateReader &r);
+
   private:
+    /** False when any weight went NaN/Inf. */
+    bool weightsFinite();
+
     DrlConfig config_;
     Rng rng_;
     nn::Sequential model_;
@@ -152,6 +166,9 @@ class DrlEngine
     double adjustSign_ = 0.0;   ///< +1 raise, -1 lower, 0 no adjustment
     ModelTarget targetKind_ = ModelTarget::Throughput;
     double lastPredictMs_ = 0.0;
+    /** Weights after the last non-diverged retrain (serialized text);
+     *  the rollback target when training poisons the model. */
+    std::string lastGoodWeights_;
 
     // Preallocated batch buffers, reused across prediction calls.
     nn::Matrix rowScratch_;     ///< 1 x Z raw row for the scalar shim
@@ -160,6 +177,8 @@ class DrlEngine
     // Registry handles (resolved once; recording is lock-free).
     util::Counter *trainStepsMetric_;
     util::Counter *divergedMetric_;
+    util::Counter *trainDivergedMetric_;
+    util::Counter *rollbackMetric_;
     util::Histogram *trainMsMetric_;
     util::Histogram *trainRowsMetric_;
     util::Histogram *predictMsMetric_;

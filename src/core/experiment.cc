@@ -53,6 +53,12 @@ ExperimentRunner::setRunHook(std::function<void(size_t)> hook)
 }
 
 void
+ExperimentRunner::setCheckpointHook(std::function<void(size_t)> hook)
+{
+    checkpointHook_ = std::move(hook);
+}
+
+void
 ExperimentRunner::recordUsage(
     const std::vector<storage::AccessObservation> &observations)
 {
@@ -85,62 +91,171 @@ ExperimentRunner::rankDevices() const
     return ids;
 }
 
-ExperimentResult
-ExperimentRunner::run()
+bool
+ExperimentRunner::finished() const
 {
-    ExperimentResult result;
-    result.policyName = policy_.name();
-    result.accessesPerDevice.assign(system_.deviceCount(), 0);
+    return warmupDone_ >= config_.warmupRuns && placedInitial_ &&
+           measuredDone_ >= config_.measuredRuns;
+}
+
+bool
+ExperimentRunner::step()
+{
+    if (finished())
+        return false;
 
     // Warmup: collect history with the initial layout untouched.
-    for (size_t r = 0; r < config_.warmupRuns; ++r)
+    if (warmupDone_ < config_.warmupRuns) {
         recordUsage(workload_.executeRun());
+        ++warmupDone_;
+        return !finished();
+    }
 
     // Static policies place once, at the start of measurement.
-    uint64_t moves_before = system_.migrationCount();
-    uint64_t bytes_before = system_.migratedBytes();
-    {
+    if (!placedInitial_) {
+        result_.policyName = policy_.name();
+        result_.accessesPerDevice.assign(system_.deviceCount(), 0);
+        movesBefore_ = system_.migrationCount();
+        bytesBefore_ = system_.migratedBytes();
         std::vector<storage::DeviceId> ranked = rankDevices();
         PolicyContext context{system_, workload_.files(), usage_, ranked,
                               rng_};
         size_t moved = policy_.rebalance(context);
         if (moved > 0)
-            result.moveEvents.push_back({0, moved});
+            result_.moveEvents.push_back({0, moved});
+        placedInitial_ = true;
+        return !finished();
     }
 
-    StatAccumulator tp_stats;
-    for (size_t r = 0; r < config_.measuredRuns; ++r) {
-        std::vector<storage::AccessObservation> observations =
-            workload_.executeRun();
-        recordUsage(observations);
-        for (const storage::AccessObservation &obs : observations) {
-            result.throughputSeries.push_back(obs.throughput);
-            tp_stats.add(obs.throughput);
-            ++result.accessesPerDevice[obs.device];
-        }
-
-        if (runHook_)
-            runHook_(r);
-
-        bool last_run = (r + 1 == config_.measuredRuns);
-        if (policy_.isDynamic() && !last_run &&
-            (r + 1) % config_.cadence == 0) {
-            std::vector<storage::DeviceId> ranked = rankDevices();
-            PolicyContext context{system_, workload_.files(), usage_,
-                                  ranked, rng_};
-            size_t moved = policy_.rebalance(context);
-            if (moved > 0) {
-                result.moveEvents.push_back(
-                    {result.throughputSeries.size(), moved});
-            }
-        }
+    size_t r = measuredDone_;
+    std::vector<storage::AccessObservation> observations =
+        workload_.executeRun();
+    recordUsage(observations);
+    for (const storage::AccessObservation &obs : observations) {
+        result_.throughputSeries.push_back(obs.throughput);
+        tpStats_.add(obs.throughput);
+        ++result_.accessesPerDevice[obs.device];
     }
 
-    result.totalAccesses = result.throughputSeries.size();
-    result.averageThroughput = tp_stats.mean();
-    result.filesMoved = system_.migrationCount() - moves_before;
-    result.bytesMoved = system_.migratedBytes() - bytes_before;
-    return result;
+    if (runHook_)
+        runHook_(r);
+
+    bool last_run = (r + 1 == config_.measuredRuns);
+    if (policy_.isDynamic() && !last_run &&
+        (r + 1) % config_.cadence == 0) {
+        std::vector<storage::DeviceId> ranked = rankDevices();
+        PolicyContext context{system_, workload_.files(), usage_,
+                              ranked, rng_};
+        size_t moved = policy_.rebalance(context);
+        if (moved > 0) {
+            result_.moveEvents.push_back(
+                {result_.throughputSeries.size(), moved});
+        }
+    }
+    ++measuredDone_;
+    // The cut point: the run (and any rebalance it triggered) is fully
+    // applied and nothing of the next run has started.
+    if (checkpointHook_)
+        checkpointHook_(measuredDone_);
+    return !finished();
+}
+
+ExperimentResult
+ExperimentRunner::finish()
+{
+    result_.totalAccesses = result_.throughputSeries.size();
+    result_.averageThroughput = tpStats_.mean();
+    result_.filesMoved = system_.migrationCount() - movesBefore_;
+    result_.bytesMoved = system_.migratedBytes() - bytesBefore_;
+    return result_;
+}
+
+ExperimentResult
+ExperimentRunner::run()
+{
+    while (step()) {
+    }
+    return finish();
+}
+
+void
+ExperimentRunner::saveState(util::StateWriter &w) const
+{
+    w.rng("exp.rng", rng_);
+    w.u64("exp.warmup_done", warmupDone_);
+    w.u64("exp.measured_done", measuredDone_);
+    w.boolean("exp.placed", placedInitial_);
+    w.u64("exp.access_counter", accessCounter_);
+    w.u64("exp.moves_before", movesBefore_);
+    w.u64("exp.bytes_before", bytesBefore_);
+    w.stat("exp.tp_stats", tpStats_);
+    w.f64Vec("exp.series", result_.throughputSeries);
+    std::vector<double> per_device(result_.accessesPerDevice.size());
+    for (size_t i = 0; i < per_device.size(); ++i)
+        per_device[i] = static_cast<double>(result_.accessesPerDevice[i]);
+    w.f64Vec("exp.per_device", per_device);
+    w.u64("exp.events", result_.moveEvents.size());
+    for (const MoveEvent &ev : result_.moveEvents) {
+        w.u64("ev.access", ev.accessNumber);
+        w.u64("ev.moved", ev.filesMoved);
+    }
+    w.u64("exp.usage", usage_.size());
+    for (const auto &[file, use] : usage_) {
+        w.u64("use.file", file);
+        w.u64("use.count", use.accessCount);
+        w.u64("use.last_index", use.lastAccessIndex);
+        w.f64("use.last_time", use.lastAccessTime);
+    }
+}
+
+void
+ExperimentRunner::loadState(util::StateReader &r)
+{
+    Rng::State rng = r.rng("exp.rng");
+    uint64_t warmup = r.u64("exp.warmup_done");
+    uint64_t measured = r.u64("exp.measured_done");
+    bool placed = r.boolean("exp.placed");
+    uint64_t access_counter = r.u64("exp.access_counter");
+    uint64_t moves_before = r.u64("exp.moves_before");
+    uint64_t bytes_before = r.u64("exp.bytes_before");
+    StatAccumulator::State tp = r.stat("exp.tp_stats");
+    std::vector<double> series = r.f64Vec("exp.series");
+    std::vector<double> per_device = r.f64Vec("exp.per_device");
+    std::vector<MoveEvent> events(r.u64("exp.events"));
+    for (MoveEvent &ev : events) {
+        ev.accessNumber = r.u64("ev.access");
+        ev.filesMoved = r.u64("ev.moved");
+    }
+    std::map<storage::FileId, FileUsage> usage;
+    uint64_t usage_count = r.u64("exp.usage");
+    for (uint64_t i = 0; i < usage_count && r.ok(); ++i) {
+        storage::FileId file =
+            static_cast<storage::FileId>(r.u64("use.file"));
+        FileUsage use;
+        use.accessCount = r.u64("use.count");
+        use.lastAccessIndex = r.u64("use.last_index");
+        use.lastAccessTime = r.f64("use.last_time");
+        usage[file] = use;
+    }
+    if (!r.ok())
+        return;
+    rng_.setState(rng);
+    warmupDone_ = warmup;
+    measuredDone_ = measured;
+    placedInitial_ = placed;
+    accessCounter_ = access_counter;
+    movesBefore_ = moves_before;
+    bytesBefore_ = bytes_before;
+    tpStats_.restore(tp);
+    result_ = ExperimentResult{};
+    result_.policyName = policy_.name();
+    result_.throughputSeries = std::move(series);
+    result_.accessesPerDevice.assign(per_device.size(), 0);
+    for (size_t i = 0; i < per_device.size(); ++i)
+        result_.accessesPerDevice[i] =
+            static_cast<uint64_t>(per_device[i]);
+    result_.moveEvents = std::move(events);
+    usage_ = std::move(usage);
 }
 
 } // namespace core

@@ -21,6 +21,8 @@
 #include "core/policies.hh"
 #include "storage/system.hh"
 #include "util/random.hh"
+#include "util/state_io.hh"
+#include "util/stats.hh"
 #include "workload/belle2.hh"
 
 namespace geo {
@@ -88,8 +90,40 @@ class ExperimentRunner
      */
     void setRunHook(std::function<void(size_t)> hook);
 
+    /**
+     * Hook invoked at the end of each completed measured run — the
+     * consistent-cut boundary the sim tool checkpoints at. The
+     * argument is the number of measured runs completed so far.
+     */
+    void setCheckpointHook(std::function<void(size_t)> hook);
+
     /** Execute warmup + measurement; returns the collected result. */
     ExperimentResult run();
+
+    /**
+     * Advance the experiment by one unit — a warmup run, the policy's
+     * initial placement, or one measured run. @return true while more
+     * work remains. run() is just `while (step());` + finish().
+     */
+    bool step();
+
+    /** Whether every phase has completed. */
+    bool finished() const;
+
+    /** Measured runs completed so far. */
+    size_t measuredRunsDone() const { return measuredDone_; }
+
+    /** Finalize totals and return the result collected so far. */
+    ExperimentResult finish();
+
+    /**
+     * Serialize the runner's progress cursor: phase counters, the
+     * partial series and usage map, the experiment RNG. Combined with
+     * the system/workload/pipeline state this makes a mid-experiment
+     * checkpoint resumable byte-identically.
+     */
+    void saveState(util::StateWriter &w) const;
+    void loadState(util::StateReader &r);
 
   private:
     storage::StorageSystem &system_;
@@ -98,9 +132,19 @@ class ExperimentRunner
     ExperimentConfig config_;
     Rng rng_;
     std::function<void(size_t)> runHook_;
+    std::function<void(size_t)> checkpointHook_;
 
     std::map<storage::FileId, FileUsage> usage_;
     size_t accessCounter_ = 0;
+
+    // Resumable progress (all checkpointed).
+    ExperimentResult result_;
+    StatAccumulator tpStats_;
+    size_t warmupDone_ = 0;
+    size_t measuredDone_ = 0;
+    bool placedInitial_ = false;
+    uint64_t movesBefore_ = 0;
+    uint64_t bytesBefore_ = 0;
 
     /** Track per-file usage from one run's observations. */
     void recordUsage(

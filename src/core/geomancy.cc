@@ -1,7 +1,10 @@
 #include "core/geomancy.hh"
 
 #include <algorithm>
+#include <sstream>
 
+#include "core/checkpoint.hh"
+#include "storage/fault_injector.hh"
 #include "util/logging.hh"
 #include "util/trace_event.hh"
 
@@ -141,6 +144,9 @@ Geomancy::runCycle()
     CycleReport report;
     ++cycles_;
     cyclesMetric_->inc();
+    storage::FaultInjector *injector = system_.faultInjector();
+    if (injector)
+        injector->notifyCycle(cycles_);
     {
         GEO_SPAN("cycle", "monitor");
         flushAgents();
@@ -159,6 +165,8 @@ Geomancy::runCycle()
             daemon_->buildTrainingBatch(system_.deviceIds());
         report.retrain = engine_->retrain(batch);
     }
+    if (injector)
+        injector->maybeCrash(storage::CrashPoint::AfterTrain);
     if (!report.retrain.trained || report.retrain.diverged) {
         report.skipped = true;
         cyclesSkippedMetric_->inc();
@@ -182,6 +190,8 @@ Geomancy::runCycle()
                                          system_.clock().now());
         }
     }
+    if (injector)
+        injector->maybeCrash(storage::CrashPoint::AfterPropose);
     if (moves.empty() && control_->pendingRetries() == 0)
         return report;
 
@@ -209,6 +219,87 @@ Geomancy::runCycle()
         }
     }
     return report;
+}
+
+void
+Geomancy::saveState(util::StateWriter &w)
+{
+    // Drain the agents' partial batches into the ReplayDB so the
+    // watermark below covers every observation made before the cut;
+    // otherwise sub-batch observations would silently vanish in a
+    // crash. Neutral for determinism as long as the uninterrupted
+    // reference run checkpoints at the same cadence.
+    flushAgents();
+    // World first: a restore must re-establish the clock and layout
+    // before the pipeline components interpret their own cursors.
+    system_.saveState(w);
+    w.u64("geo.cycles", cycles_);
+    w.rng("geo.rng", rng_);
+    daemon_->saveState(w);
+    engine_->saveState(w);
+    control_->saveState(w);
+    w.boolean("geo.has_scheduler", scheduler_ != nullptr);
+    if (scheduler_)
+        scheduler_->saveState(w);
+    // ReplayDB watermark: rows past these ids were appended after the
+    // cut (by the crashed process) and are rewound on restore so the
+    // replayed cycles insert byte-identical history.
+    ReplayDbWatermark wm = db_->watermark();
+    w.u64("geo.db_accesses", static_cast<uint64_t>(wm.accesses));
+    w.u64("geo.db_movements", static_cast<uint64_t>(wm.movements));
+    w.u64("geo.db_attempts", static_cast<uint64_t>(wm.moveAttempts));
+    w.u64("geo.db_faults", static_cast<uint64_t>(wm.faultEvents));
+}
+
+void
+Geomancy::loadState(util::StateReader &r)
+{
+    system_.loadState(r);
+    uint64_t cycles = r.u64("geo.cycles");
+    Rng::State rng = r.rng("geo.rng");
+    daemon_->loadState(r);
+    engine_->loadState(r);
+    control_->loadState(r);
+    bool hasScheduler = r.boolean("geo.has_scheduler");
+    if (r.ok() && hasScheduler != (scheduler_ != nullptr)) {
+        r.fail("geomancy: scheduler config changed since the checkpoint");
+        return;
+    }
+    if (scheduler_ && r.ok())
+        scheduler_->loadState(r);
+    ReplayDbWatermark wm;
+    wm.accesses = static_cast<int64_t>(r.u64("geo.db_accesses"));
+    wm.movements = static_cast<int64_t>(r.u64("geo.db_movements"));
+    wm.moveAttempts = static_cast<int64_t>(r.u64("geo.db_attempts"));
+    wm.faultEvents = static_cast<int64_t>(r.u64("geo.db_faults"));
+    if (!r.ok())
+        return;
+    cycles_ = cycles;
+    rng_.setState(rng);
+    db_->rewindTo(wm);
+}
+
+bool
+Geomancy::restore(const std::string &path)
+{
+    CheckpointHeader header;
+    std::string payload;
+    if (!CheckpointManager::read(path, header, payload))
+        return false;
+    std::istringstream is(payload);
+    util::StateReader r(is);
+    loadState(r);
+    if (!r.ok()) {
+        warn("Geomancy::restore: %s rejected: %s", path.c_str(),
+             r.error().c_str());
+        return false;
+    }
+    // Safety net: reconcile the pending queue against the attempt log.
+    // Idempotent, so it is harmless when the snapshot carried the queue.
+    control_->restorePending();
+    inform("Geomancy::restore: resumed at cycle %llu from %s",
+           static_cast<unsigned long long>(cycles_), path.c_str());
+    return true;
 }
 
 std::vector<MoveRequest>

@@ -125,6 +125,32 @@ class Geomancy
     /** Decision cycles run so far. */
     size_t cyclesRun() const { return cycles_; }
 
+    /**
+     * Serialize the whole pipeline cut at the current instant: target
+     * system world state, cycle counter, RNG streams, engine weights
+     * and scalers, control-agent retry queue, scheduler breakers and
+     * the ReplayDB watermark. Written at the end of a decision cycle,
+     * this is a consistent cut a restore resumes from byte-identically.
+     */
+    void saveState(util::StateWriter &w);
+
+    /**
+     * Restore a cut written by saveState(). Also rewinds the ReplayDB
+     * to the checkpointed watermark, discarding rows a crashed process
+     * appended after the cut. No-op when the reader fails validation.
+     */
+    void loadState(util::StateReader &r);
+
+    /**
+     * Restore from a checkpoint file (header + CRC validated). On
+     * success the pending-retry queue is additionally reconciled
+     * against the attempt log via restorePending() — a no-op when the
+     * snapshot already carries the queue, the safety net when it
+     * predates one. @return false when the file is missing, corrupt
+     * or from an incompatible topology.
+     */
+    bool restore(const std::string &path);
+
   private:
     storage::StorageSystem &system_;
     std::vector<storage::FileId> managedFiles_;

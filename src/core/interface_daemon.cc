@@ -64,6 +64,24 @@ InterfaceDaemon::receiveBatch(const std::vector<PerfRecord> &records)
     ++batchesReceived_;
 }
 
+void
+InterfaceDaemon::saveState(util::StateWriter &w) const
+{
+    w.f64("daemon.overhead", transferOverhead_);
+    w.u64("daemon.batches", batchesReceived_);
+}
+
+void
+InterfaceDaemon::loadState(util::StateReader &r)
+{
+    double overhead = r.f64("daemon.overhead");
+    uint64_t batches = r.u64("daemon.batches");
+    if (!r.ok())
+        return;
+    transferOverhead_ = overhead;
+    batchesReceived_ = batches;
+}
+
 TrainingBatch
 InterfaceDaemon::buildTrainingBatch(
     const std::vector<storage::DeviceId> &devices) const

@@ -18,6 +18,7 @@
 #include "core/replay_db.hh"
 #include "nn/dataset.hh"
 #include "trace/normalizer.hh"
+#include "util/state_io.hh"
 
 namespace geo {
 namespace core {
@@ -95,6 +96,11 @@ class InterfaceDaemon
     uint64_t batchesReceived() const { return batchesReceived_; }
 
     const DaemonConfig &config() const { return config_; }
+
+    /** Serialize the overhead accumulators (the training window
+     *  itself lives in the ReplayDB and is covered by its watermark). */
+    void saveState(util::StateWriter &w) const;
+    void loadState(util::StateReader &r);
 
   private:
     ReplayDb &db_;

@@ -200,5 +200,61 @@ MovementScheduler::admitAll(std::vector<CheckedMove> moves, double now)
     return admitted;
 }
 
+void
+MovementScheduler::saveState(util::StateWriter &w) const
+{
+    w.u64("sched.rej_cooldown", rejectedCooldown_);
+    w.u64("sched.rej_gap", rejectedGap_);
+    w.u64("sched.rej_breaker", rejectedBreaker_);
+    w.u64("sched.cooldowns", lastMove_.size());
+    for (const auto &[file, at] : lastMove_) {
+        w.u64("cd.file", file);
+        w.f64("cd.at", at);
+    }
+    w.u64("sched.breakers", breakers_.size());
+    for (const auto &[device, breaker] : breakers_) {
+        w.u64("brk.device", device);
+        w.u64("brk.state", static_cast<uint64_t>(breaker.state));
+        w.f64("brk.opened_at", breaker.openedAt);
+        w.boolean("brk.probe", breaker.probeInFlight);
+        std::vector<double> failures(breaker.failures.begin(),
+                                     breaker.failures.end());
+        w.f64Vec("brk.failures", failures);
+    }
+}
+
+void
+MovementScheduler::loadState(util::StateReader &r)
+{
+    uint64_t rej_cooldown = r.u64("sched.rej_cooldown");
+    uint64_t rej_gap = r.u64("sched.rej_gap");
+    uint64_t rej_breaker = r.u64("sched.rej_breaker");
+    std::map<storage::FileId, double> last_move;
+    size_t cooldowns = r.u64("sched.cooldowns");
+    for (size_t i = 0; i < cooldowns && r.ok(); ++i) {
+        storage::FileId file = r.u64("cd.file");
+        last_move[file] = r.f64("cd.at");
+    }
+    std::map<storage::DeviceId, Breaker> breakers;
+    size_t count = r.u64("sched.breakers");
+    for (size_t i = 0; i < count && r.ok(); ++i) {
+        auto device = static_cast<storage::DeviceId>(r.u64("brk.device"));
+        Breaker breaker;
+        breaker.state = static_cast<BreakerState>(r.u64("brk.state"));
+        breaker.openedAt = r.f64("brk.opened_at");
+        breaker.probeInFlight = r.boolean("brk.probe");
+        std::vector<double> failures = r.f64Vec("brk.failures");
+        breaker.failures.assign(failures.begin(), failures.end());
+        breakers[device] = breaker;
+    }
+    if (!r.ok())
+        return;
+    rejectedCooldown_ = rej_cooldown;
+    rejectedGap_ = rej_gap;
+    rejectedBreaker_ = rej_breaker;
+    lastMove_ = std::move(last_move);
+    breakers_ = std::move(breakers);
+}
+
 } // namespace core
 } // namespace geo

@@ -27,6 +27,7 @@
 #include "core/gap_predictor.hh"
 #include "storage/system.hh"
 #include "util/metrics.hh"
+#include "util/state_io.hh"
 
 namespace geo {
 namespace core {
@@ -106,6 +107,10 @@ class MovementScheduler
     uint64_t rejectedByBreaker() const { return rejectedBreaker_; }
 
     const SchedulerConfig &config() const { return config_; }
+
+    /** Serialize cooldown map, breaker states and rejection totals. */
+    void saveState(util::StateWriter &w) const;
+    void loadState(util::StateReader &r);
 
   private:
     /** Breaker bookkeeping for one target device. */

@@ -7,6 +7,7 @@
 
 #include "util/csv.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace geo {
 namespace core {
@@ -52,15 +53,63 @@ attemptOutcomeName(AttemptOutcome outcome)
         return "failed";
       case AttemptOutcome::Abandoned:
         return "abandoned";
+      case AttemptOutcome::Superseded:
+        return "superseded";
     }
     return "unknown";
 }
 
+namespace {
+
+/** Run PRAGMA quick_check and report whether the file is sound. */
+bool
+quickCheckOk(sqlite3 *db)
+{
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db, "PRAGMA quick_check;", -1, &stmt,
+                           nullptr) != SQLITE_OK)
+        return false;
+    bool ok = false;
+    if (sqlite3_step(stmt) == SQLITE_ROW) {
+        const unsigned char *text = sqlite3_column_text(stmt, 0);
+        ok = text &&
+             std::string(reinterpret_cast<const char *>(text)) == "ok";
+    }
+    sqlite3_finalize(stmt);
+    return ok;
+}
+
+} // namespace
+
 ReplayDb::ReplayDb(const std::string &path)
 {
-    if (sqlite3_open(path.c_str(), &db_) != SQLITE_OK)
-        fatal("ReplayDb: cannot open '%s': %s", path.c_str(),
-              db_ ? sqlite3_errmsg(db_) : "out of memory");
+    readCorruptMetric_ =
+        &util::MetricRegistry::global().counter("replaydb.read.corrupt");
+
+    // A corrupt or truncated on-disk database must not take the whole
+    // daemon down: the ReplayDB is a history cache that can be rebuilt
+    // from live traffic, so degrade to an empty in-memory store.
+    if (sqlite3_open(path.c_str(), &db_) != SQLITE_OK) {
+        warn("ReplayDb: cannot open '%s': %s", path.c_str(),
+             db_ ? sqlite3_errmsg(db_) : "out of memory");
+        openedCorrupt_ = true;
+    } else if (path != ":memory:" && !quickCheckOk(db_)) {
+        warn("ReplayDb: '%s' failed its integrity check (corrupt or "
+             "truncated file)", path.c_str());
+        openedCorrupt_ = true;
+    }
+    if (openedCorrupt_) {
+        util::MetricRegistry::global().counter("replaydb.open.corrupt")
+            .inc();
+        if (db_) {
+            sqlite3_close(db_);
+            db_ = nullptr;
+        }
+        warn("ReplayDb: falling back to an empty in-memory database");
+        if (sqlite3_open(":memory:", &db_) != SQLITE_OK)
+            fatal("ReplayDb: cannot open in-memory fallback: %s",
+                  db_ ? sqlite3_errmsg(db_) : "out of memory");
+    }
 
     exec("PRAGMA journal_mode = MEMORY;");
     exec("PRAGMA synchronous = OFF;");
@@ -236,8 +285,11 @@ ReplayDb::queryAccesses(const std::string &sql, int64_t bind0,
         sqlite3_bind_int64(stmt, index++, bind0);
     sqlite3_bind_int64(stmt, index, static_cast<int64_t>(limit));
     std::vector<PerfRecord> records;
-    while (sqlite3_step(stmt) == SQLITE_ROW)
+    int rc;
+    while ((rc = sqlite3_step(stmt)) == SQLITE_ROW)
         records.push_back(readAccessRow(stmt));
+    if (rc != SQLITE_DONE)
+        noteReadCorrupt("queryAccesses");
     sqlite3_finalize(stmt);
     // Queries select newest-first for the LIMIT; return oldest-first.
     std::reverse(records.begin(), records.end());
@@ -297,11 +349,14 @@ ReplayDb::deviceThroughput(size_t limit) const
         fatal("ReplayDb: deviceThroughput: %s", sqlite3_errmsg(db_));
     sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(limit));
     std::vector<std::pair<storage::DeviceId, double>> result;
-    while (sqlite3_step(stmt) == SQLITE_ROW) {
+    int rc;
+    while ((rc = sqlite3_step(stmt)) == SQLITE_ROW) {
         result.emplace_back(
             static_cast<storage::DeviceId>(sqlite3_column_int64(stmt, 0)),
             sqlite3_column_double(stmt, 1));
     }
+    if (rc != SQLITE_DONE)
+        noteReadCorrupt("deviceThroughput");
     sqlite3_finalize(stmt);
     return result;
 }
@@ -373,8 +428,11 @@ ReplayDb::movementsBetween(double begin, double end) const
     sqlite3_bind_double(stmt, 1, begin);
     sqlite3_bind_double(stmt, 2, end);
     std::vector<MovementRecord> records;
-    while (sqlite3_step(stmt) == SQLITE_ROW)
+    int rc;
+    while ((rc = sqlite3_step(stmt)) == SQLITE_ROW)
         records.push_back(readMovementRow(stmt));
+    if (rc != SQLITE_DONE)
+        noteReadCorrupt("movementsBetween");
     sqlite3_finalize(stmt);
     return records;
 }
@@ -390,8 +448,11 @@ ReplayDb::recentMovements(size_t limit) const
         fatal("ReplayDb: recentMovements: %s", sqlite3_errmsg(db_));
     sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(limit));
     std::vector<MovementRecord> records;
-    while (sqlite3_step(stmt) == SQLITE_ROW)
+    int rc;
+    while ((rc = sqlite3_step(stmt)) == SQLITE_ROW)
         records.push_back(readMovementRow(stmt));
+    if (rc != SQLITE_DONE)
+        noteReadCorrupt("recentMovements");
     sqlite3_finalize(stmt);
     std::reverse(records.begin(), records.end());
     return records;
@@ -476,8 +537,11 @@ ReplayDb::recentMoveAttempts(size_t limit) const
         fatal("ReplayDb: recentMoveAttempts: %s", sqlite3_errmsg(db_));
     sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(limit));
     std::vector<MoveAttemptRecord> records;
-    while (sqlite3_step(stmt) == SQLITE_ROW)
+    int rc;
+    while ((rc = sqlite3_step(stmt)) == SQLITE_ROW)
         records.push_back(readAttemptRow(stmt));
+    if (rc != SQLITE_DONE)
+        noteReadCorrupt("recentMoveAttempts");
     sqlite3_finalize(stmt);
     std::reverse(records.begin(), records.end());
     return records;
@@ -497,8 +561,11 @@ ReplayDb::attemptsForFile(storage::FileId file, size_t limit) const
     sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(file));
     sqlite3_bind_int64(stmt, 2, static_cast<int64_t>(limit));
     std::vector<MoveAttemptRecord> records;
-    while (sqlite3_step(stmt) == SQLITE_ROW)
+    int rc;
+    while ((rc = sqlite3_step(stmt)) == SQLITE_ROW)
         records.push_back(readAttemptRow(stmt));
+    if (rc != SQLITE_DONE)
+        noteReadCorrupt("attemptsForFile");
     sqlite3_finalize(stmt);
     std::reverse(records.begin(), records.end());
     return records;
@@ -544,7 +611,8 @@ ReplayDb::recentFaultEvents(size_t limit) const
         fatal("ReplayDb: recentFaultEvents: %s", sqlite3_errmsg(db_));
     sqlite3_bind_int64(stmt, 1, static_cast<int64_t>(limit));
     std::vector<FaultEventRecord> records;
-    while (sqlite3_step(stmt) == SQLITE_ROW) {
+    int rc;
+    while ((rc = sqlite3_step(stmt)) == SQLITE_ROW) {
         FaultEventRecord rec;
         rec.id = sqlite3_column_int64(stmt, 0);
         rec.timestamp = sqlite3_column_double(stmt, 1);
@@ -555,6 +623,8 @@ ReplayDb::recentFaultEvents(size_t limit) const
         rec.magnitude = sqlite3_column_double(stmt, 5);
         records.push_back(rec);
     }
+    if (rc != SQLITE_DONE)
+        noteReadCorrupt("recentFaultEvents");
     sqlite3_finalize(stmt);
     std::reverse(records.begin(), records.end());
     return records;
@@ -567,6 +637,63 @@ ReplayDb::clear()
     exec("DELETE FROM movements;");
     exec("DELETE FROM move_attempts;");
     exec("DELETE FROM fault_events;");
+}
+
+void
+ReplayDb::noteReadCorrupt(const char *where) const
+{
+    warn("ReplayDb: %s: read ended early: %s (corrupt database?)", where,
+         sqlite3_errmsg(db_));
+    readCorruptMetric_->inc();
+}
+
+int64_t
+ReplayDb::maxRowId(const char *table) const
+{
+    std::string sql =
+        strprintf("SELECT COALESCE(MAX(id), 0) FROM %s;", table);
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql.c_str(), -1, &stmt, nullptr) !=
+        SQLITE_OK)
+        fatal("ReplayDb: maxRowId(%s): %s", table, sqlite3_errmsg(db_));
+    int64_t id = 0;
+    if (sqlite3_step(stmt) == SQLITE_ROW)
+        id = sqlite3_column_int64(stmt, 0);
+    sqlite3_finalize(stmt);
+    return id;
+}
+
+ReplayDbWatermark
+ReplayDb::watermark() const
+{
+    ReplayDbWatermark wm;
+    wm.accesses = maxRowId("accesses");
+    wm.movements = maxRowId("movements");
+    wm.moveAttempts = maxRowId("move_attempts");
+    wm.faultEvents = maxRowId("fault_events");
+    return wm;
+}
+
+void
+ReplayDb::rewindTo(const ReplayDbWatermark &wm)
+{
+    struct { const char *table; int64_t id; } cuts[] = {
+        {"accesses", wm.accesses},
+        {"movements", wm.movements},
+        {"move_attempts", wm.moveAttempts},
+        {"fault_events", wm.faultEvents},
+    };
+    exec("BEGIN TRANSACTION;");
+    for (const auto &cut : cuts) {
+        exec(strprintf("DELETE FROM %s WHERE id > %lld;", cut.table,
+                       static_cast<long long>(cut.id)));
+        // Reset the AUTOINCREMENT sequence so re-inserted rows get the
+        // same ids an uninterrupted run would have assigned.
+        exec(strprintf("UPDATE sqlite_sequence SET seq = %lld"
+                       " WHERE name = '%s';",
+                       static_cast<long long>(cut.id), cut.table));
+    }
+    exec("COMMIT;");
 }
 
 std::string

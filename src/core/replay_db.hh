@@ -22,6 +22,12 @@ struct sqlite3;
 struct sqlite3_stmt;
 
 namespace geo {
+namespace util {
+class Counter;
+} // namespace util
+} // namespace geo
+
+namespace geo {
 namespace core {
 
 /** A recorded layout action (file movement). */
@@ -42,6 +48,7 @@ enum class AttemptOutcome {
     Skipped = 1,   ///< invalid request, not executed (with reason)
     Failed = 2,    ///< fault aborted the attempt; a retry is pending
     Abandoned = 3, ///< fault aborted and the retry budget/deadline ran out
+    Superseded = 4, ///< a newer request for the file replaced the retry
 };
 
 /** Printable name of an attempt outcome. */
@@ -73,6 +80,21 @@ struct FaultEventRecord
     int kind = 0;           ///< storage::FaultKind as int
     bool active = false;    ///< episode begins (true) or ends (false)
     double magnitude = 0.0; ///< error probability / bandwidth factor
+};
+
+/**
+ * Per-table high-water row ids: a consistent cut of the database.
+ *
+ * A checkpoint records the watermark at the end of a decision cycle;
+ * rewindTo() discards everything a crashed process appended after that
+ * cut so the resumed run replays it identically.
+ */
+struct ReplayDbWatermark
+{
+    int64_t accesses = 0;
+    int64_t movements = 0;
+    int64_t moveAttempts = 0;
+    int64_t faultEvents = 0;
 };
 
 /**
@@ -157,6 +179,22 @@ class ReplayDb
     /** Delete all stored data (used between experiment phases). */
     void clear();
 
+    /** Current high-water row id of every table. */
+    ReplayDbWatermark watermark() const;
+
+    /**
+     * Discard every row appended after `wm` and reset the
+     * AUTOINCREMENT sequences, so rows inserted after the rewind get
+     * the same ids an uninterrupted run would have assigned.
+     */
+    void rewindTo(const ReplayDbWatermark &wm);
+
+    /**
+     * Whether the constructor fell back to an empty in-memory database
+     * because `path` could not be opened or failed its integrity check.
+     */
+    bool openedCorrupt() const { return openedCorrupt_; }
+
     /**
      * Export all access samples as CSV (header + one row per access,
      * oldest first) — the operations-side escape hatch for analyzing
@@ -176,10 +214,16 @@ class ReplayDb
     sqlite3_stmt *insertMovementStmt_ = nullptr;
     sqlite3_stmt *insertAttemptStmt_ = nullptr;
     sqlite3_stmt *insertFaultStmt_ = nullptr;
+    bool openedCorrupt_ = false;
+    util::Counter *readCorruptMetric_ = nullptr;
 
     void exec(const std::string &sql);
     std::vector<PerfRecord> queryAccesses(const std::string &sql,
                                           int64_t bind0, size_t limit) const;
+    /** MAX(id) of one table (0 when empty). */
+    int64_t maxRowId(const char *table) const;
+    /** Log and count a SELECT loop that ended in an error, not DONE. */
+    void noteReadCorrupt(const char *where) const;
 };
 
 } // namespace core

@@ -7,6 +7,18 @@
 namespace geo {
 namespace nn {
 
+void
+Optimizer::saveState(util::StateWriter &w) const
+{
+    w.f64("opt.lr", lr_);
+}
+
+void
+Optimizer::loadState(util::StateReader &r)
+{
+    lr_ = r.f64("opt.lr");
+}
+
 SgdOptimizer::SgdOptimizer(double lr, double clip_norm)
     : Optimizer(lr), clipNorm_(clip_norm)
 {
@@ -77,6 +89,51 @@ AdamOptimizer::step(const std::vector<Matrix *> &params,
             double vhat = v.data()[j] / bias2;
             p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
         }
+    }
+}
+
+void
+AdamOptimizer::saveState(util::StateWriter &w) const
+{
+    Optimizer::saveState(w);
+    w.u64("adam.t", t_);
+    w.u64("adam.tensors", m_.size());
+    for (size_t i = 0; i < m_.size(); ++i) {
+        w.u64("adam.rows", m_[i].rows());
+        w.u64("adam.cols", m_[i].cols());
+        w.f64Vec("adam.m", m_[i].data());
+        w.f64Vec("adam.v", v_[i].data());
+    }
+}
+
+void
+AdamOptimizer::loadState(util::StateReader &r)
+{
+    Optimizer::loadState(r);
+    t_ = r.u64("adam.t");
+    size_t tensors = r.u64("adam.tensors");
+    m_.clear();
+    v_.clear();
+    for (size_t i = 0; i < tensors && r.ok(); ++i) {
+        size_t rows = r.u64("adam.rows");
+        size_t cols = r.u64("adam.cols");
+        std::vector<double> m = r.f64Vec("adam.m");
+        std::vector<double> v = r.f64Vec("adam.v");
+        if (!r.ok())
+            break;
+        if (m.size() != rows * cols || v.size() != rows * cols) {
+            r.fail("adam moment tensor size mismatch");
+            break;
+        }
+        m_.emplace_back(rows, cols);
+        v_.emplace_back(rows, cols);
+        m_.back().data() = m;
+        v_.back().data() = v;
+    }
+    if (!r.ok()) {
+        m_.clear();
+        v_.clear();
+        t_ = 0;
     }
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nn/matrix.hh"
+#include "util/state_io.hh"
 
 namespace geo {
 namespace nn {
@@ -37,6 +38,16 @@ class Optimizer
                       const std::vector<Matrix *> &grads) = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * Serialize mutable optimizer state (not configuration) for
+     * checkpointing. Stateless optimizers inherit the base no-op.
+     */
+    virtual void saveState(util::StateWriter &w) const;
+
+    /** Restore state written by saveState on an identically-configured
+     *  optimizer. */
+    virtual void loadState(util::StateReader &r);
 
     double learningRate() const { return lr_; }
     void setLearningRate(double lr) { lr_ = lr; }
@@ -80,6 +91,10 @@ class AdamOptimizer : public Optimizer
               const std::vector<Matrix *> &grads) override;
 
     std::string name() const override { return "adam"; }
+
+    /** Step counter and first/second moment tensors. */
+    void saveState(util::StateWriter &w) const override;
+    void loadState(util::StateReader &r) override;
 
   private:
     double beta1_;

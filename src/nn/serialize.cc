@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fs_atomic.hh"
 #include "util/logging.hh"
 
 namespace geo {
@@ -85,10 +86,12 @@ loadWeights(Sequential &model, std::istream &is)
 bool
 saveWeightsFile(Sequential &model, const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os)
+    // Stage in memory and publish atomically: a writer killed mid-save
+    // must not leave a truncated file that loadWeightsFile half-parses.
+    std::ostringstream os;
+    if (!saveWeights(model, os))
         return false;
-    return saveWeights(model, os);
+    return util::writeFileAtomic(path, os.str());
 }
 
 bool

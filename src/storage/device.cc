@@ -148,5 +148,44 @@ StorageDevice::resetStats()
     failedAccessCount_ = 0;
 }
 
+void
+StorageDevice::saveState(util::StateWriter &w) const
+{
+    w.u64("dev.used_bytes", usedBytes_);
+    w.f64("dev.busy_load", busyLoad_);
+    w.f64("dev.last_busy_update", lastBusyUpdate_);
+    w.stat("dev.throughput", throughputStats_);
+    w.u64("dev.accesses", accessCount_);
+    w.u64("dev.failed_accesses", failedAccessCount_);
+    w.boolean("dev.offline", offline_);
+    w.f64("dev.health", healthFactor_);
+    w.boolean("dev.writable", config_.writable);
+}
+
+void
+StorageDevice::loadState(util::StateReader &r)
+{
+    uint64_t used = r.u64("dev.used_bytes");
+    double busy = r.f64("dev.busy_load");
+    double last_busy = r.f64("dev.last_busy_update");
+    StatAccumulator::State stats = r.stat("dev.throughput");
+    uint64_t accesses = r.u64("dev.accesses");
+    uint64_t failed = r.u64("dev.failed_accesses");
+    bool offline = r.boolean("dev.offline");
+    double health = r.f64("dev.health");
+    bool writable = r.boolean("dev.writable");
+    if (!r.ok())
+        return;
+    usedBytes_ = used;
+    busyLoad_ = busy;
+    lastBusyUpdate_ = last_busy;
+    throughputStats_.restore(stats);
+    accessCount_ = accesses;
+    failedAccessCount_ = failed;
+    offline_ = offline;
+    healthFactor_ = health;
+    config_.writable = writable;
+}
+
 } // namespace storage
 } // namespace geo

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "storage/external_traffic.hh"
+#include "util/state_io.hh"
 #include "util/stats.hh"
 
 namespace geo {
@@ -139,6 +140,14 @@ class StorageDevice
     uint64_t failedAccessCount() const { return failedAccessCount_; }
 
     void resetStats();
+
+    /**
+     * Serialize every mutable field (usage, contention decay state,
+     * stats, availability, the writable flag). Configuration is not
+     * saved: a restore targets a device built from the same config.
+     */
+    void saveState(util::StateWriter &w) const;
+    void loadState(util::StateReader &r);
 
   private:
     DeviceId id_;

@@ -1,10 +1,12 @@
 #include "storage/fault_injector.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "storage/system.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "util/supervise.hh"
 #include "util/trace_event.hh"
 
 namespace geo {
@@ -22,6 +24,39 @@ faultKindName(FaultKind kind)
         return "outage";
     }
     return "unknown";
+}
+
+const char *
+crashPointName(CrashPoint point)
+{
+    switch (point) {
+      case CrashPoint::None:
+        return "none";
+      case CrashPoint::AfterTrain:
+        return "after-train";
+      case CrashPoint::AfterPropose:
+        return "after-propose";
+      case CrashPoint::MidMigration:
+        return "mid-migration";
+      case CrashPoint::AfterCommit:
+        return "after-commit";
+    }
+    return "unknown";
+}
+
+bool
+parseCrashPoint(const std::string &text, CrashPoint &out)
+{
+    for (CrashPoint point :
+         {CrashPoint::None, CrashPoint::AfterTrain,
+          CrashPoint::AfterPropose, CrashPoint::MidMigration,
+          CrashPoint::AfterCommit}) {
+        if (text == crashPointName(point)) {
+            out = point;
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace {
@@ -151,6 +186,65 @@ double
 FaultInjector::errorProbability(DeviceId device) const
 {
     return device < errorProb_.size() ? errorProb_[device] : 0.0;
+}
+
+void
+FaultInjector::armCrash(CrashPoint point, uint64_t cycle)
+{
+    armedPoint_ = point;
+    armedCycle_ = cycle;
+    if (point != CrashPoint::None)
+        inform("fault: crash armed at %s, cycle >= %llu",
+               crashPointName(point),
+               static_cast<unsigned long long>(cycle));
+}
+
+void
+FaultInjector::maybeCrash(CrashPoint point)
+{
+    if (armedPoint_ != point || currentCycle_ < armedCycle_)
+        return;
+    warn("fault: injected crash at %s (cycle %llu); exiting with "
+         "code %d", crashPointName(point),
+         static_cast<unsigned long long>(currentCycle_),
+         util::kCrashExitCode);
+    // _Exit, not exit(): a real crash runs no destructors, flushes no
+    // buffers and fires no atexit hooks. Anything not already durable
+    // is lost — exactly what restore must cope with.
+    std::_Exit(util::kCrashExitCode);
+}
+
+void
+FaultInjector::saveState(util::StateWriter &w) const
+{
+    w.f64("fault.now", now_);
+    w.rng("fault.rng", rng_);
+    w.u64("fault.injected", injectedFailures_);
+    std::vector<double> active(wasActive_.size(), 0.0);
+    for (size_t i = 0; i < wasActive_.size(); ++i)
+        active[i] = wasActive_[i] ? 1.0 : 0.0;
+    w.f64Vec("fault.was_active", active);
+}
+
+void
+FaultInjector::loadState(util::StateReader &r)
+{
+    double now = r.f64("fault.now");
+    Rng::State rng = r.rng("fault.rng");
+    uint64_t injected = r.u64("fault.injected");
+    std::vector<double> active = r.f64Vec("fault.was_active");
+    if (!r.ok())
+        return;
+    if (active.size() != schedule_.size()) {
+        r.fail("fault: schedule size changed since the checkpoint");
+        return;
+    }
+    now_ = now;
+    rng_.setState(rng);
+    injectedFailures_ = injected;
+    for (size_t i = 0; i < active.size(); ++i)
+        wasActive_[i] = active[i] != 0.0;
+    applyState(now_);
 }
 
 } // namespace storage

@@ -27,11 +27,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "storage/device.hh"
 #include "util/metrics.hh"
 #include "util/random.hh"
+#include "util/state_io.hh"
 
 namespace geo {
 namespace storage {
@@ -47,6 +49,28 @@ enum class FaultKind {
 
 /** Printable name of a fault kind. */
 const char *faultKindName(FaultKind kind);
+
+/**
+ * Process-level kill points inside a decision cycle.
+ *
+ * Unlike the per-device fault classes above, a crash point kills the
+ * whole Geomancy process (std::_Exit, no cleanup) at a well-defined
+ * spot in the pipeline, so the checkpoint/restore path can be tested
+ * against every phase a real crash could interrupt.
+ */
+enum class CrashPoint {
+    None = 0,
+    AfterTrain,   ///< right after the DRL engine retrained
+    AfterPropose, ///< after moves were proposed and admitted
+    MidMigration, ///< inside a chunked transfer, first chunk copied
+    AfterCommit,  ///< right after a checkpoint was committed
+};
+
+/** Printable name of a crash point ("after-train", ...). */
+const char *crashPointName(CrashPoint point);
+
+/** Parse a crash-point name; false when `text` names none of them. */
+bool parseCrashPoint(const std::string &text, CrashPoint &out);
 
 /** One scheduled fault episode on one device. */
 struct FaultEvent
@@ -120,6 +144,37 @@ class FaultInjector
 
     const std::vector<FaultEvent> &schedule() const { return schedule_; }
 
+    /**
+     * Arm a kill point: the process dies (exit code
+     * util::kCrashExitCode, no cleanup) the first time `point` is
+     * reached in decision cycle >= `cycle`. The ">=" makes arming
+     * robust against cycles that skip a phase (e.g. no moves
+     * proposed): the crash fires at the next opportunity.
+     */
+    void armCrash(CrashPoint point, uint64_t cycle);
+
+    /** Disarm the kill point (what a supervisor does on restart). */
+    void disarmCrash() { armedPoint_ = CrashPoint::None; }
+
+    CrashPoint armedCrashPoint() const { return armedPoint_; }
+
+    /** Tell the injector which decision cycle is running. */
+    void notifyCycle(uint64_t cycle) { currentCycle_ = cycle; }
+
+    /**
+     * Kill the process if `point` is armed and due. Called by the
+     * pipeline at each kill point; a no-op when disarmed.
+     */
+    void maybeCrash(CrashPoint point);
+
+    /**
+     * Serialize the dynamic injector state (clock cursor, error RNG,
+     * per-event active flags, failure counter). The schedule and any
+     * armed crash are configuration and are not saved.
+     */
+    void saveState(util::StateWriter &w) const;
+    void loadState(util::StateReader &r);
+
   private:
     StorageSystem &system_;
     std::vector<FaultEvent> schedule_;
@@ -130,6 +185,11 @@ class FaultInjector
     std::vector<double> errorProb_; ///< per device, current state
     uint64_t injectedFailures_ = 0;
     util::Counter *injectedFailuresMetric_; ///< registry mirror
+
+    // Kill-point arming (process-local; never checkpointed).
+    CrashPoint armedPoint_ = CrashPoint::None;
+    uint64_t armedCycle_ = 0;
+    uint64_t currentCycle_ = 0;
 
     void applyState(double now);
 };

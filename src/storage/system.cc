@@ -373,6 +373,10 @@ StorageSystem::moveFileChunked(FileId id, DeviceId target,
         result.seconds += seconds;
         chunk_start += seconds; // chunks are sequential in time
         remaining -= chunk;
+        // Kill point: die with the transfer part-done — capacity
+        // reserved on the target, busy time paid, nothing logged.
+        if (injector_)
+            injector_->maybeCrash(CrashPoint::MidMigration);
     }
     if (!config_.backgroundMoves)
         clock_.advance(result.seconds);
@@ -418,6 +422,61 @@ StorageSystem::filesPerDevice() const
     for (const FileObject &f : files_)
         ++counts[f.location];
     return counts;
+}
+
+void
+StorageSystem::saveState(util::StateWriter &w) const
+{
+    w.f64("sys.clock", clock_.now());
+    w.u64("sys.migrated_bytes", migratedBytes_);
+    w.u64("sys.migrations", migrationCount_);
+    w.u64("sys.aborted_moves", abortedMoves_);
+    w.u64("sys.aborted_bytes", abortedBytes_);
+    w.u64("sys.files", files_.size());
+    for (const FileObject &f : files_)
+        w.u64("file.location", f.location);
+    w.u64("sys.devices", devices_.size());
+    for (const StorageDevice &dev : devices_)
+        dev.saveState(w);
+}
+
+void
+StorageSystem::loadState(util::StateReader &r)
+{
+    double now = r.f64("sys.clock");
+    uint64_t migrated = r.u64("sys.migrated_bytes");
+    uint64_t migrations = r.u64("sys.migrations");
+    uint64_t aborted_moves = r.u64("sys.aborted_moves");
+    uint64_t aborted_bytes = r.u64("sys.aborted_bytes");
+    if (r.u64("sys.files") != files_.size()) {
+        r.fail("system: file count changed since the checkpoint");
+        return;
+    }
+    std::vector<DeviceId> locations;
+    locations.reserve(files_.size());
+    for (size_t i = 0; i < files_.size() && r.ok(); ++i)
+        locations.push_back(
+            static_cast<DeviceId>(r.u64("file.location")));
+    if (r.u64("sys.devices") != devices_.size()) {
+        r.fail("system: device count changed since the checkpoint");
+        return;
+    }
+    if (!r.ok())
+        return;
+    // Device states carry the used-bytes accounting, so restore the
+    // layout first and let the device snapshots overwrite usage.
+    for (size_t i = 0; i < files_.size(); ++i)
+        files_[i].location = locations[i];
+    for (StorageDevice &dev : devices_)
+        dev.loadState(r);
+    if (!r.ok())
+        return;
+    clock_.reset();
+    clock_.advanceTo(now);
+    migratedBytes_ = migrated;
+    migrationCount_ = migrations;
+    abortedMoves_ = aborted_moves;
+    abortedBytes_ = aborted_bytes;
 }
 
 } // namespace storage

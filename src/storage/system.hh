@@ -213,6 +213,15 @@ class StorageSystem
     /** Per-device count of files currently placed there. */
     std::vector<size_t> filesPerDevice() const;
 
+    /**
+     * Serialize the dynamic world state: clock, file layout, every
+     * device's mutable state and the migration totals. Topology
+     * (devices, files, observers, injector attachment) is not saved —
+     * restore into a system built by the same construction code.
+     */
+    void saveState(util::StateWriter &w) const;
+    void loadState(util::StateReader &r);
+
   private:
     SystemConfig config_;
     std::vector<StorageDevice> devices_;

@@ -12,6 +12,7 @@
 #ifndef GEO_TRACE_NORMALIZER_HH
 #define GEO_TRACE_NORMALIZER_HH
 
+#include <utility>
 #include <vector>
 
 #include "nn/matrix.hh"
@@ -50,6 +51,14 @@ class MinMaxNormalizer
     size_t columns() const { return mins_.size(); }
     double columnMin(size_t col) const { return mins_.at(col); }
     double columnMax(size_t col) const { return maxs_.at(col); }
+
+    /** Restore previously learned ranges (checkpoint restore). */
+    void
+    restore(std::vector<double> mins, std::vector<double> maxs)
+    {
+        mins_ = std::move(mins);
+        maxs_ = std::move(maxs);
+    }
 
   private:
     std::vector<double> mins_;

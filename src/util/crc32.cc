@@ -1,0 +1,45 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace geo {
+namespace util {
+
+namespace {
+
+/** Byte-at-a-time lookup table for the reflected polynomial. */
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t size, uint32_t seed)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = kTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32(const std::string &data, uint32_t seed)
+{
+    return crc32(data.data(), data.size(), seed);
+}
+
+} // namespace util
+} // namespace geo

@@ -1,0 +1,112 @@
+#include "util/fs_atomic.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace util {
+
+namespace {
+
+/** Directory part of a path ("." when there is no separator). */
+std::string
+dirOf(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** fsync a directory so a rename inside it is durable. */
+void
+syncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return; // best effort: some filesystems refuse O_DIRECTORY
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    // The temp file must live in the destination directory: rename()
+    // is only atomic within one filesystem.
+    std::string tmp = path + ".tmp.XXXXXX";
+    std::vector<char> buf(tmp.begin(), tmp.end());
+    buf.push_back('\0');
+    int fd = ::mkstemp(buf.data());
+    if (fd < 0) {
+        warn("writeFileAtomic: mkstemp for %s: %s", path.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    tmp.assign(buf.data());
+
+    bool ok = true;
+    const char *data = content.data();
+    size_t remaining = content.size();
+    while (remaining > 0) {
+        ssize_t written = ::write(fd, data, remaining);
+        if (written < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("writeFileAtomic: write %s: %s", tmp.c_str(),
+                 std::strerror(errno));
+            ok = false;
+            break;
+        }
+        data += written;
+        remaining -= static_cast<size_t>(written);
+    }
+    if (ok && ::fsync(fd) != 0) {
+        warn("writeFileAtomic: fsync %s: %s", tmp.c_str(),
+             std::strerror(errno));
+        ok = false;
+    }
+    ::close(fd);
+
+    if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("writeFileAtomic: rename %s -> %s: %s", tmp.c_str(),
+             path.c_str(), std::strerror(errno));
+        ok = false;
+    }
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    syncDir(dirOf(path));
+    return true;
+}
+
+bool
+readFileAll(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream os;
+    os << is.rdbuf();
+    if (is.bad())
+        return false;
+    out = os.str();
+    return true;
+}
+
+} // namespace util
+} // namespace geo

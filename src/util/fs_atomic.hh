@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Crash-safe file writes (temp file + fsync + rename).
+ *
+ * A process killed mid-write must never leave a half-written file at
+ * the destination path: readers either see the complete old contents
+ * or the complete new contents. The recipe is the classic POSIX one —
+ * write to a temporary file in the same directory, fsync it, rename()
+ * over the destination, then fsync the directory so the rename itself
+ * is durable.
+ */
+
+#ifndef GEO_UTIL_FS_ATOMIC_HH
+#define GEO_UTIL_FS_ATOMIC_HH
+
+#include <string>
+
+namespace geo {
+namespace util {
+
+/**
+ * Atomically replace (or create) `path` with `content`.
+ *
+ * The temporary file is created next to `path` (same filesystem, so
+ * the rename is atomic) and unlinked on any failure.
+ *
+ * @return false on any I/O error (a warn() is logged with errno).
+ */
+bool writeFileAtomic(const std::string &path, const std::string &content);
+
+/**
+ * Read a whole file into `out`.
+ * @return false if the file cannot be opened or read.
+ */
+bool readFileAll(const std::string &path, std::string &out);
+
+} // namespace util
+} // namespace geo
+
+#endif // GEO_UTIL_FS_ATOMIC_HH

@@ -84,6 +84,33 @@ class Rng
     /** Fork a statistically independent child generator. */
     Rng fork();
 
+    /**
+     * Complete serializable generator state.
+     *
+     * Restoring a saved State reproduces the exact output stream,
+     * including the Box-Muller cached-normal half-step.
+     */
+    struct State
+    {
+        std::array<uint64_t, 4> s{};
+        double cachedNormal = 0.0;
+        bool hasCachedNormal = false;
+    };
+
+    State
+    state() const
+    {
+        return {state_, cachedNormal_, hasCachedNormal_};
+    }
+
+    void
+    setState(const State &state)
+    {
+        state_ = state.s;
+        cachedNormal_ = state.cachedNormal;
+        hasCachedNormal_ = state.hasCachedNormal;
+    }
+
   private:
     std::array<uint64_t, 4> state_;
     double cachedNormal_ = 0.0;

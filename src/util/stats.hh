@@ -48,6 +48,28 @@ class StatAccumulator
     double max() const;
     double sum() const { return mean_ * static_cast<double>(count_); }
 
+    /** Raw Welford state, exposed for checkpointing. */
+    struct State
+    {
+        size_t count = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    State state() const { return {count_, mean_, m2_, min_, max_}; }
+
+    void
+    restore(const State &s)
+    {
+        count_ = s.count;
+        mean_ = s.mean;
+        m2_ = s.m2;
+        min_ = s.min;
+        max_ = s.max;
+    }
+
   private:
     size_t count_ = 0;
     double mean_ = 0.0;

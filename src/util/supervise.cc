@@ -1,0 +1,72 @@
+#include "util/supervise.hh"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace geo {
+namespace util {
+
+SuperviseResult
+runSupervised(const std::function<int(int, bool)> &body,
+              const SuperviseConfig &config)
+{
+    SuperviseResult result;
+    double backoff = static_cast<double>(config.backoffMs);
+
+    for (int attempt = 0;; ++attempt) {
+        ++result.attempts;
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("runSupervised: fork failed: %s", std::strerror(errno));
+        if (pid == 0) {
+            // Child: run one attempt and exit without unwinding, so a
+            // crash in the body can't corrupt the supervisor's state.
+            ::_exit(body(attempt, attempt > 0));
+        }
+
+        int status = 0;
+        while (::waitpid(pid, &status, 0) < 0) {
+            if (errno != EINTR)
+                fatal("runSupervised: waitpid failed: %s",
+                      std::strerror(errno));
+        }
+
+        bool crashed = false;
+        if (WIFSIGNALED(status)) {
+            result.exitCode = 128 + WTERMSIG(status);
+            crashed = true;
+        } else {
+            result.exitCode = WEXITSTATUS(status);
+            crashed = result.exitCode == config.crashExitCode;
+        }
+        if (!crashed)
+            return result;
+
+        if (result.restarts >= config.maxRestarts) {
+            warn("supervisor: child still crashing after %d restart(s); "
+                 "giving up", result.restarts);
+            result.gaveUp = true;
+            return result;
+        }
+
+        int delayMs = static_cast<int>(backoff);
+        if (delayMs > config.backoffCapMs)
+            delayMs = config.backoffCapMs;
+        inform("supervisor: child crashed (code %d); restart %d/%d after "
+               "%d ms", result.exitCode, result.restarts + 1,
+               config.maxRestarts, delayMs);
+        if (delayMs > 0)
+            ::usleep(static_cast<useconds_t>(delayMs) * 1000);
+        result.totalBackoffMs += delayMs;
+        backoff *= config.backoffMultiplier;
+        ++result.restarts;
+    }
+}
+
+} // namespace util
+} // namespace geo

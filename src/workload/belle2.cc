@@ -97,5 +97,23 @@ Belle2Workload::executeRunConcurrent()
     return observations;
 }
 
+void
+Belle2Workload::saveState(util::StateWriter &w) const
+{
+    w.rng("belle2.rng", rng_);
+    w.u64("belle2.runs", runs_);
+}
+
+void
+Belle2Workload::loadState(util::StateReader &r)
+{
+    Rng::State rng = r.rng("belle2.rng");
+    uint64_t runs = r.u64("belle2.runs");
+    if (!r.ok())
+        return;
+    rng_.setState(rng);
+    runs_ = runs;
+}
+
 } // namespace workload
 } // namespace geo

@@ -18,6 +18,7 @@
 
 #include "storage/system.hh"
 #include "util/random.hh"
+#include "util/state_io.hh"
 #include "workload/access_event.hh"
 
 namespace geo {
@@ -85,6 +86,14 @@ class Belle2Workload
     size_t runsCompleted() const { return runs_; }
 
     const Belle2Config &config() const { return config_; }
+
+    /**
+     * Serialize the generator cursor (RNG stream, completed runs).
+     * File registration is constructor work and deterministic, so only
+     * the dynamic position in the access stream is saved.
+     */
+    void saveState(util::StateWriter &w) const;
+    void loadState(util::StateReader &r);
 
   private:
     storage::StorageSystem &system_;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "nn/model_zoo.hh"
@@ -84,6 +85,38 @@ TEST(Serialize, FileRoundTrip)
     EXPECT_DOUBLE_EQ(original.predict(x).at(0, 0),
                      restored.predict(x).at(0, 0));
     std::remove(path.c_str());
+}
+
+TEST(Serialize, AtomicFileWriteLeavesNoResidue)
+{
+    // saveWeightsFile goes through the temp-file + rename path: after
+    // an overwrite the directory must hold exactly the weights file,
+    // and the previous contents are fully replaced.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "geo_serialize_atomic";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    std::string path = (dir / "model.weights").string();
+
+    Rng rng1(102), rng2(103), rng3(104);
+    Sequential first = buildModel(1, 6, rng1);
+    Sequential second = buildModel(1, 6, rng2);
+    ASSERT_TRUE(saveWeightsFile(first, path));
+    ASSERT_TRUE(saveWeightsFile(second, path)); // overwrite
+
+    size_t entries = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        (void)entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u); // no .tmp.* files left behind
+
+    Sequential restored = buildModel(1, 6, rng3);
+    ASSERT_TRUE(loadWeightsFile(restored, path));
+    Matrix x(1, 6, 0.5);
+    EXPECT_DOUBLE_EQ(restored.predict(x).at(0, 0),
+                     second.predict(x).at(0, 0));
+    fs::remove_all(dir);
 }
 
 TEST(Serialize, MissingFileFails)

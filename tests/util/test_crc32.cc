@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the CRC32 checksum and the atomic file-write helpers the
+ * checkpoint subsystem is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/crc32.hh"
+#include "util/fs_atomic.hh"
+
+namespace geo {
+namespace util {
+namespace {
+
+TEST(Crc32, CheckVector)
+{
+    // The standard CRC-32 check value (zlib/PNG polynomial).
+    EXPECT_EQ(crc32(std::string("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero)
+{
+    EXPECT_EQ(crc32(std::string()), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    std::string a = "the quick brown ";
+    std::string b = "fox jumps over the lazy dog";
+    uint32_t split = crc32(b.data(), b.size(), crc32(a));
+    EXPECT_EQ(split, crc32(a + b));
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips)
+{
+    std::string data(256, '\x5a');
+    uint32_t clean = crc32(data);
+    for (size_t i : {size_t(0), data.size() / 2, data.size() - 1}) {
+        std::string flipped = data;
+        flipped[i] ^= 0x01;
+        EXPECT_NE(crc32(flipped), clean) << "flip at " << i;
+    }
+}
+
+TEST(FsAtomic, WriteReadRoundTrip)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "geo_fs_atomic_rt.txt")
+            .string();
+    std::string content = "line one\nline two\0binary", out;
+    content += std::string(1, '\0');
+    ASSERT_TRUE(writeFileAtomic(path, content));
+    ASSERT_TRUE(readFileAll(path, out));
+    EXPECT_EQ(out, content);
+    std::filesystem::remove(path);
+}
+
+TEST(FsAtomic, OverwriteReplacesWholeFile)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "geo_fs_atomic_ow.txt")
+            .string();
+    ASSERT_TRUE(writeFileAtomic(path, "a much longer first version"));
+    ASSERT_TRUE(writeFileAtomic(path, "short"));
+    std::string out;
+    ASSERT_TRUE(readFileAll(path, out));
+    EXPECT_EQ(out, "short");
+    std::filesystem::remove(path);
+}
+
+TEST(FsAtomic, LeavesNoTempFilesBehind)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "geo_fs_atomic_dir";
+    fs::create_directories(dir);
+    ASSERT_TRUE(writeFileAtomic((dir / "file.txt").string(), "payload"));
+    size_t entries = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        (void)entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u); // just file.txt, no .tmp.* residue
+    fs::remove_all(dir);
+}
+
+TEST(FsAtomic, ReadMissingFileFails)
+{
+    std::string out = "sentinel";
+    EXPECT_FALSE(readFileAll("/nonexistent/geo/missing.txt", out));
+}
+
+} // namespace
+} // namespace util
+} // namespace geo

@@ -137,4 +137,61 @@ else
     echo "bench_smoke.sh: ${sim} not built, skipping metrics check" >&2
 fi
 
+if [[ -x "${sim}" ]]; then
+    ckpt_dir="$(mktemp -d /tmp/geo_ckpt_smoke.XXXXXX)"
+    trap 'rm -f "${out}"; rm -rf "${ckpt_dir}"' EXIT
+
+    echo "== running geomancy_sim --checkpoint-dir =="
+    "${sim}" --policy geomancy --runs 6 --warmup 1 --cadence 3 \
+        --epochs 4 --quiet --checkpoint-dir "${ckpt_dir}"
+
+    echo "== validating checkpoint files in ${ckpt_dir} =="
+    # The on-disk format is deliberately tool-friendly: a one-line
+    # header (magic, cycle, payload length, zlib CRC32) followed by the
+    # payload. Validate every snapshot with nothing but python's zlib.
+    python3 - "${ckpt_dir}" <<'EOF'
+import glob
+import sys
+import zlib
+
+def fail(message):
+    print(f"bench_smoke: {message}", file=sys.stderr)
+    sys.exit(1)
+
+snapshots = sorted(glob.glob(sys.argv[1] + "/ckpt-*.geo"))
+if not snapshots:
+    fail("no checkpoint files were written")
+
+for path in snapshots:
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    newline = blob.find(b"\n")
+    if newline < 0:
+        fail(f"{path}: no header line")
+    fields = blob[:newline].decode("ascii", "replace").split()
+    if len(fields) != 4 or fields[0] != "geo-ckpt-1":
+        fail(f"{path}: bad header {fields!r}")
+    header = {}
+    for field in fields[1:]:
+        key, _, value = field.partition("=")
+        header[key] = value
+    for key in ("cycle", "bytes", "crc32"):
+        if key not in header:
+            fail(f"{path}: header missing {key}")
+    payload = blob[newline + 1:]
+    if len(payload) != int(header["bytes"]):
+        fail(f"{path}: payload is {len(payload)} bytes, header says "
+             f"{header['bytes']}")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if crc != int(header["crc32"], 16):
+        fail(f"{path}: CRC mismatch (file {header['crc32']}, "
+             f"computed {crc:08x})")
+    if b"geo.cycles" not in payload:
+        fail(f"{path}: payload lacks the pipeline cycle counter")
+
+print(f"bench_smoke: {len(snapshots)} checkpoint file(s) OK "
+      "(header, length and zlib CRC32 all match)")
+EOF
+fi
+
 echo "== bench_smoke.sh: OK =="

@@ -34,6 +34,26 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 echo "== check.sh: all tests passed under address;undefined =="
 
+# Crash-recovery drill: kill the pipeline at a mid-migration kill point
+# under the sanitizer build, let the supervisor restart it from the
+# checkpoint, and require the resumed run to be byte-identical to an
+# uninterrupted reference (series and summary CSV).
+echo "== crash/restart recovery drill (sanitizer build) =="
+sim="${build_dir}/tools/geomancy_sim"
+drill="$(mktemp -d /tmp/geo_crash_drill.XXXXXX)"
+sim_flags=(--policy geomancy --runs 12 --warmup 2 --cadence 3
+    --epochs 4 --quiet)
+"${sim}" "${sim_flags[@]}" --checkpoint-dir "${drill}/ref" \
+    --series "${drill}/ref.csv" --csv "${drill}/ref_sum.csv"
+"${sim}" "${sim_flags[@]}" --checkpoint-dir "${drill}/crash" \
+    --crash-at mid-migration --crash-cycle 2 --max-restarts 2 \
+    --series "${drill}/crash.csv" --csv "${drill}/crash_sum.csv"
+cmp "${drill}/ref.csv" "${drill}/crash.csv"
+cmp "${drill}/ref_sum.csv" "${drill}/crash_sum.csv"
+rm -rf "${drill}"
+
+echo "== check.sh: crash drill resumed byte-identical =="
+
 notrace_dir="${repo_root}/build-notrace"
 echo "== configuring GEO_TRACE=OFF build in ${notrace_dir} =="
 cmake -S "${repo_root}" -B "${notrace_dir}" \

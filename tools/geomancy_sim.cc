@@ -11,28 +11,44 @@
  *                [--seed N] [--epochs N] [--csv FILE] [--series FILE]
  *                [--scheduler] [--faults] [--metrics-json FILE]
  *                [--metrics-prom FILE] [--trace-out FILE] [--quiet]
+ *                [--checkpoint-dir DIR] [--checkpoint-every N]
+ *                [--crash-at POINT] [--crash-cycle N] [--resume]
+ *                [--max-restarts N]
  *
  * --faults degrades the "var" mount from t=0 (fig7-style rebuild:
  * bandwidth loss + transient I/O errors), so evacuation migrations
  * abort and the retry/backoff machinery becomes observable.
+ *
+ * --checkpoint-dir enables crash-safe snapshots (and a file-backed
+ * ReplayDB in the same directory); --crash-at kills the process at a
+ * pipeline kill point; --resume restarts from the newest valid
+ * snapshot; --max-restarts supervises the run in forked children,
+ * restarting crashed attempts with backoff. A crash+resume run is
+ * byte-identical to the same run uninterrupted.
  *
  * Policies: geomancy, geomancy-static, lru, mru, lfu, random,
  *           random-static, noop, mount:<name> (e.g. mount:file0)
  */
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
+#include "core/checkpoint.hh"
 #include "core/experiment.hh"
 #include "storage/bluesky.hh"
 #include "storage/fault_injector.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "util/state_io.hh"
+#include "util/supervise.hh"
 #include "util/table.hh"
 #include "util/trace_event.hh"
 #include "workload/belle2.hh"
@@ -57,6 +73,12 @@ struct Options
     bool scheduler = false;
     bool faults = false;    ///< degrade the "var" mount mid-run
     bool quiet = false;
+    std::string checkpointDir;   ///< empty = checkpointing disabled
+    size_t checkpointEvery = 1;  ///< snapshot every N measured runs
+    storage::CrashPoint crashAt = storage::CrashPoint::None;
+    uint64_t crashCycle = 2;     ///< decision cycle the crash arms at
+    bool resume = false;         ///< restart from the newest snapshot
+    int maxRestarts = 0;         ///< >0 runs under the supervisor
 };
 
 void
@@ -81,6 +103,16 @@ usage()
         "  --metrics-prom FILE   write the metrics in Prometheus text\n"
         "  --trace-out FILE      write a Chrome trace (view in Perfetto\n"
         "                        or chrome://tracing)\n"
+        "  --checkpoint-dir DIR  crash-safe snapshots + file-backed\n"
+        "                        ReplayDB under DIR\n"
+        "  --checkpoint-every N  snapshot every N measured runs (def. 1)\n"
+        "  --crash-at POINT      kill the process at a pipeline kill\n"
+        "                        point: after-train | after-propose |\n"
+        "                        mid-migration | after-commit\n"
+        "  --crash-cycle N       decision cycle the crash arms at (def. 2)\n"
+        "  --resume        restart from the newest valid snapshot\n"
+        "  --max-restarts N      supervise: fork attempts, restart\n"
+        "                        crashed children with backoff\n"
         "  --quiet         suppress warnings\n";
 }
 
@@ -116,6 +148,21 @@ parse(int argc, char **argv, Options &options)
             options.metricsPromPath = next("--metrics-prom");
         else if (arg == "--trace-out")
             options.tracePath = next("--trace-out");
+        else if (arg == "--checkpoint-dir")
+            options.checkpointDir = next("--checkpoint-dir");
+        else if (arg == "--checkpoint-every")
+            options.checkpointEvery =
+                std::stoull(next("--checkpoint-every"));
+        else if (arg == "--crash-at") {
+            std::string point = next("--crash-at");
+            if (!storage::parseCrashPoint(point, options.crashAt))
+                fatal("unknown crash point '%s'", point.c_str());
+        } else if (arg == "--crash-cycle")
+            options.crashCycle = std::stoull(next("--crash-cycle"));
+        else if (arg == "--resume")
+            options.resume = true;
+        else if (arg == "--max-restarts")
+            options.maxRestarts = std::stoi(next("--max-restarts"));
         else if (arg == "--scheduler")
             options.scheduler = true;
         else if (arg == "--faults")
@@ -132,34 +179,66 @@ parse(int argc, char **argv, Options &options)
     return true;
 }
 
-} // namespace
-
+/**
+ * One attempt of the simulation — the whole former main(). Under the
+ * supervisor this is the forked child's body; `attempt` is the restart
+ * count and `resume` asks it to continue from the newest snapshot.
+ */
 int
-main(int argc, char **argv)
+runOnce(const Options &options, int attempt, bool resume)
 {
-    Options options;
-    if (!parse(argc, argv, options))
-        return 0;
     if (options.quiet)
         setLogLevel(LogLevel::Quiet);
 
     // Start from a clean registry so the exported snapshot describes
     // exactly this run; arm the tracer before any instrumented code.
     util::MetricRegistry::global().reset();
+    util::MetricRegistry::global().gauge("supervisor.restarts")
+        .set(attempt);
     if (!options.tracePath.empty())
         util::TraceCollector::global().enable();
+
+    bool checkpointing = !options.checkpointDir.empty();
+    std::unique_ptr<core::CheckpointManager> manager;
+    std::string db_path = ":memory:";
+    if (checkpointing) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.checkpointDir, ec);
+        if (ec)
+            fatal("cannot create %s: %s", options.checkpointDir.c_str(),
+                  ec.message().c_str());
+        core::CheckpointManagerConfig mconfig;
+        mconfig.dir = options.checkpointDir;
+        manager = std::make_unique<core::CheckpointManager>(mconfig);
+        // The ReplayDB must survive the crash alongside the snapshots:
+        // the snapshot only stores a watermark into it.
+        db_path = options.checkpointDir + "/replay.db";
+        if (!resume) {
+            manager->clear();
+            // The hot journal must go with the database: a stale
+            // rollback journal next to a fresh file would be replayed
+            // into it on open.
+            for (const char *suffix : {"", "-journal", "-wal", "-shm"})
+                std::filesystem::remove(db_path + suffix, ec);
+        }
+    }
 
     auto system = storage::makeBlueskySystem(options.seed);
     workload::Belle2Workload workload(*system);
 
     std::unique_ptr<storage::FaultInjector> injector;
-    if (options.faults) {
+    // Checkpointing always constructs the injector (harmless with an
+    // empty schedule) so the snapshot layout does not depend on which
+    // of --faults/--crash-at/--resume this particular invocation got.
+    if (options.faults || checkpointing ||
+        options.crashAt != storage::CrashPoint::None) {
         storage::FaultInjectorConfig fconfig;
         fconfig.seed = options.seed * 1000003 + 13;
         injector =
             std::make_unique<storage::FaultInjector>(*system, fconfig);
         system->attachFaultInjector(injector.get());
-
+    }
+    if (options.faults) {
         // Mirror the fig7 scenario, live from t=0: the "var" mount is
         // in a rebuild (degraded bandwidth) and throws transient I/O
         // errors for the whole experiment.  It must be active before
@@ -184,6 +263,11 @@ main(int argc, char **argv)
         errors.magnitude = 0.6;
         injector->addEvent(errors);
     }
+    // The kill point arms only on the first, non-resuming attempt; a
+    // restarted child runs disarmed so the supervised run terminates.
+    if (injector && options.crashAt != storage::CrashPoint::None &&
+        attempt == 0 && !resume)
+        injector->armCrash(options.crashAt, options.crashCycle);
 
     // Geomancy is constructed eagerly so its agents observe warmup
     // accesses even for the static variant.
@@ -196,7 +280,7 @@ main(int argc, char **argv)
     const std::string &name = options.policy;
     if (name == "geomancy" || name == "geomancy-static") {
         geomancy = std::make_unique<core::Geomancy>(
-            *system, workload.files(), gconfig);
+            *system, workload.files(), gconfig, db_path);
         if (name == "geomancy")
             policy = std::make_unique<core::GeomancyDynamicPolicy>(
                 *geomancy);
@@ -229,6 +313,79 @@ main(int argc, char **argv)
     config.seed = options.seed * 31 + 1;
 
     core::ExperimentRunner runner(*system, workload, *policy, config);
+
+    // One consistent cut: the pipeline (or bare system), the injector,
+    // the workload cursor and the runner's progress, in a fixed order.
+    auto writeSnapshot = [&](util::StateWriter &w) {
+        if (geomancy)
+            geomancy->saveState(w);
+        else
+            system->saveState(w);
+        if (injector)
+            injector->saveState(w);
+        workload.saveState(w);
+        runner.saveState(w);
+    };
+
+    if (checkpointing && resume) {
+        auto started = std::chrono::steady_clock::now();
+        core::CheckpointHeader header;
+        std::string payload, path;
+        if (manager->loadLatest(header, payload, &path)) {
+            std::istringstream is(payload);
+            util::StateReader r(is);
+            if (geomancy)
+                geomancy->loadState(r);
+            else
+                system->loadState(r);
+            if (injector)
+                injector->loadState(r);
+            workload.loadState(r);
+            runner.loadState(r);
+            if (!r.ok()) {
+                // The file passed its CRC, so this is not corruption:
+                // the snapshot was cut under different flags/topology.
+                // Partial restores are not safe to run from.
+                fatal("checkpoint %s does not match this "
+                      "configuration: %s", path.c_str(),
+                      r.error().c_str());
+            }
+            if (geomancy)
+                geomancy->controlAgent().restorePending();
+            double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+            auto &registry = util::MetricRegistry::global();
+            registry.gauge("checkpoint.restore_ms").set(ms);
+            registry.gauge("checkpoint.resume_cycle")
+                .set(static_cast<double>(header.cycle));
+            registry.gauge("checkpoint.runs_saved")
+                .set(static_cast<double>(runner.measuredRunsDone()));
+            inform("resumed from %s: %zu of %zu measured runs already "
+                   "done (%.1f ms restore)", path.c_str(),
+                   runner.measuredRunsDone(), options.runs, ms);
+        } else {
+            warn("no usable checkpoint under %s; starting fresh",
+                 options.checkpointDir.c_str());
+            manager->clear();
+            if (geomancy)
+                geomancy->replayDb().rewindTo({});
+        }
+    }
+
+    if (checkpointing) {
+        runner.setCheckpointHook([&](size_t done) {
+            if (done % options.checkpointEvery != 0 &&
+                done != options.runs)
+                return;
+            std::ostringstream os;
+            util::StateWriter w(os);
+            writeSnapshot(w);
+            if (manager->write(done, os.str()) && injector)
+                injector->maybeCrash(storage::CrashPoint::AfterCommit);
+        });
+    }
+
     core::ExperimentResult result = runner.run();
 
     TextTable table("geomancy_sim results");
@@ -309,4 +466,27 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    if (!parse(argc, argv, options))
+        return 0;
+
+    if (options.maxRestarts > 0) {
+        util::SuperviseConfig sconfig;
+        sconfig.maxRestarts = options.maxRestarts;
+        util::SuperviseResult sup = util::runSupervised(
+            [&](int attempt, bool restarted) {
+                return runOnce(options, attempt,
+                               options.resume || restarted);
+            },
+            sconfig);
+        return sup.exitCode;
+    }
+    return runOnce(options, 0, options.resume);
 }
