@@ -7,9 +7,11 @@
  *
  * The binary also runs a structured perf suite (tracked baseline)
  * before the google micros and writes it to BENCH_perf.json:
- * naive-vs-tiled GEMM, scalar-vs-batched candidate scoring, one full
- * Geomancy decision cycle, model-search scaling over 1/2/4 workers,
- * and metric-primitive overhead (counter/histogram ns per op).
+ * naive-vs-fast GEMM (packed register-blocked kernel), training-path
+ * timings (steady-state epoch, full retrain, arena alloc count),
+ * scalar-vs-batched candidate scoring, one full Geomancy decision
+ * cycle, model-search scaling over 1/2/4 workers, and
+ * metric-primitive overhead (counter/histogram ns per op).
  * Knobs: GEO_PERF_OUT (output path), GEO_PERF_QUICK=1
  * (small sizes), GEO_SKIP_PERF=1 / GEO_SKIP_MICRO=1 (skip a half).
  */
@@ -103,6 +105,27 @@ BM_TrainEpochByZ(benchmark::State &state)
         benchmark::DoNotOptimize(model.train(data, {}, opt, options));
 }
 BENCHMARK(BM_TrainEpochByZ)->Arg(6)->Arg(13);
+
+/** One full epoch of model 1 with the DrlEngine's SGD configuration
+ *  (the steady-state retrain inner loop). */
+void
+BM_TrainEpoch(benchmark::State &state)
+{
+    Rng rng(5);
+    nn::Sequential model = nn::buildModel(1, 6, rng);
+    nn::Dataset data;
+    data.inputs = nn::Matrix(512, 6);
+    data.inputs.fillNormal(rng, 0.3);
+    data.targets = nn::Matrix(512, 1, 0.5);
+    nn::SgdOptimizer opt(0.05, 5.0);
+    nn::TrainOptions options;
+    options.epochs = 1;
+    options.batchSize = 32;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.train(data, {}, opt, options));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_TrainEpoch);
 
 // --- ReplayDB ------------------------------------------------------------
 
@@ -300,11 +323,28 @@ syntheticRecords(size_t count)
     return records;
 }
 
+/** DrlEngine::retrain end to end: split, epochs, divergence probe. */
+void
+BM_FullRetrain(benchmark::State &state)
+{
+    std::vector<core::PerfRecord> records = syntheticRecords(2000);
+    core::ReplayDb db;
+    core::InterfaceDaemon daemon(db);
+    daemon.receiveBatch(records);
+    core::DrlConfig config;
+    config.epochs = static_cast<size_t>(state.range(0));
+    core::DrlEngine engine(config);
+    auto batch = daemon.buildTrainingBatch({0, 1, 2, 3, 4, 5});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.retrain(batch));
+}
+BENCHMARK(BM_FullRetrain)->Arg(5)->Arg(40);
+
 struct GemmResult
 {
     size_t m, k, n;
     double naiveMs = 0.0;
-    double tiledMs = 0.0;
+    double fastMs = 0.0;
 };
 
 GemmResult
@@ -321,12 +361,71 @@ timeGemm(size_t m, size_t k, size_t n, int reps)
     for (int rep = 0; rep < reps; ++rep) {
         r.naiveMs = std::min(
             r.naiveMs, bestMillis([&]() { out = a.matmulNaive(b); }, 1));
-        // Production path: blocked kernel, pool-parallel above the
-        // flops threshold (on a 1-core host this stays serial).
-        r.tiledMs = std::min(
-            r.tiledMs, bestMillis([&]() { a.matmulInto(b, out); }, 1));
+        // Production path: shape plan picks plain-ikj or the packed
+        // register-blocked kernel; pool-parallel above the flops
+        // threshold (on a 1-core host this stays serial).
+        r.fastMs = std::min(
+            r.fastMs, bestMillis([&]() { a.matmulInto(b, out); }, 1));
     }
     return r;
+}
+
+struct TrainTimings
+{
+    double epochMs = 0.0;
+    double retrainMs = 0.0;
+    size_t retrainEpochs = 0;
+    uint64_t steadyAllocs = 0;
+};
+
+/**
+ * Tracked training-path timings: one steady-state epoch of the
+ * winning model, a full DrlEngine::retrain, and the number of Matrix
+ * buffer acquisitions across steady-state epochs (must stay 0 — the
+ * scratch arena is sized by the warm-up epoch).
+ */
+TrainTimings
+timeTrain(bool quick)
+{
+    TrainTimings t;
+
+    Rng rng(33);
+    nn::Sequential model = nn::buildModel(1, 6, rng);
+    nn::Dataset data;
+    data.inputs = nn::Matrix(512, 6);
+    data.inputs.fillNormal(rng, 0.3);
+    data.targets = nn::Matrix(512, 1);
+    data.targets.fillNormal(rng, 0.5);
+    nn::SgdOptimizer opt(0.05, 5.0);
+    nn::TrainOptions options;
+    options.epochs = 1;
+    options.batchSize = 32;
+    model.train(data, {}, opt, options); // sizes the arena
+    t.epochMs = 1e300;
+    for (int rep = 0; rep < (quick ? 3 : 5); ++rep)
+        t.epochMs = std::min(t.epochMs, bestMillis([&]() {
+            model.train(data, {}, opt, options);
+        }, 1));
+    const uint64_t before = nn::Matrix::allocationCount();
+    options.epochs = 3;
+    model.train(data, {}, opt, options);
+    t.steadyAllocs = nn::Matrix::allocationCount() - before;
+
+    std::vector<core::PerfRecord> records = syntheticRecords(2000);
+    core::ReplayDb db;
+    core::InterfaceDaemon daemon(db);
+    daemon.receiveBatch(records);
+    core::DrlConfig config;
+    config.epochs = quick ? 5 : 40;
+    t.retrainEpochs = config.epochs;
+    core::DrlEngine engine(config);
+    auto batch = daemon.buildTrainingBatch({0, 1, 2, 3, 4, 5});
+    engine.retrain(batch); // warm caches and arena
+    t.retrainMs = 1e300;
+    for (int rep = 0; rep < (quick ? 2 : 3); ++rep)
+        t.retrainMs = std::min(
+            t.retrainMs, bestMillis([&]() { engine.retrain(batch); }, 1));
+    return t;
 }
 
 struct ScoringResult
@@ -521,6 +620,8 @@ runPerfSuite()
         gemm.push_back(timeGemm(512, 64, 512, reps));
     }
     std::fprintf(stderr, "perf: gemm done\n");
+    TrainTimings train = timeTrain(quick);
+    std::fprintf(stderr, "perf: train done\n");
     ScoringResult scoring = timeCandidateScoring(quick);
     std::fprintf(stderr, "perf: candidate scoring done\n");
     CycleResult cycle = timeFullCycle(quick);
@@ -534,7 +635,7 @@ runPerfSuite()
     if (!out)
         panic("runPerfSuite: cannot write %s", out_path.c_str());
     out << "{\n";
-    out << "  \"schema\": \"geo-perf-1\",\n";
+    out << "  \"schema\": \"geo-perf-2\",\n";
     out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
     out << "  \"threads\": " << util::ThreadPool::global().workerCount()
         << ",\n";
@@ -543,11 +644,15 @@ runPerfSuite()
         const GemmResult &g = gemm[i];
         out << "    {\"m\": " << g.m << ", \"k\": " << g.k
             << ", \"n\": " << g.n << ", \"naive_ms\": " << g.naiveMs
-            << ", \"tiled_ms\": " << g.tiledMs << ", \"speedup\": "
-            << (g.tiledMs > 0.0 ? g.naiveMs / g.tiledMs : 0.0) << "}"
+            << ", \"fast_ms\": " << g.fastMs << ", \"speedup\": "
+            << (g.fastMs > 0.0 ? g.naiveMs / g.fastMs : 0.0) << "}"
             << (i + 1 < gemm.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
+    out << "  \"train\": {\"epoch_ms\": " << train.epochMs
+        << ", \"retrain_ms\": " << train.retrainMs
+        << ", \"retrain_epochs\": " << train.retrainEpochs
+        << ", \"steady_state_allocs\": " << train.steadyAllocs << "},\n";
     out << "  \"candidate_scoring\": {\"files\": " << scoring.files
         << ", \"devices\": " << scoring.devices
         << ", \"trained\": " << (scoring.trained ? "true" : "false")

@@ -86,7 +86,8 @@ DrlEngine::retrain(const TrainingBatch &batch)
     // Validation relative error drives the Section V-G adjustment.
     const nn::Dataset &probe =
         split.validation.empty() ? split.train : split.validation;
-    nn::Matrix predictions = model_.predict(probe.inputs);
+    model_.predictInto(probe.inputs, outputScratch_);
+    const nn::Matrix &predictions = outputScratch_;
     std::vector<double> pred_raw, target_raw;
     pred_raw.reserve(probe.size());
     target_raw.reserve(probe.size());
@@ -151,7 +152,8 @@ DrlEngine::predictBatch(const nn::Matrix &raw_rows)
     for (size_t r = 0; r < rows; ++r)
         batch_.normalizeFeaturesInto(raw_rows.data().data() + r * z, z,
                                      featureScratch_.data().data() + r * z);
-    nn::Matrix outputs = model_.predict(featureScratch_);
+    model_.predictInto(featureScratch_, outputScratch_);
+    const nn::Matrix &outputs = outputScratch_;
 
     std::vector<double> predicted(rows);
     for (size_t r = 0; r < rows; ++r) {

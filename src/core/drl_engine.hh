@@ -173,6 +173,7 @@ class DrlEngine
     // Preallocated batch buffers, reused across prediction calls.
     nn::Matrix rowScratch_;     ///< 1 x Z raw row for the scalar shim
     nn::Matrix featureScratch_; ///< (F * D) x Z normalized batch
+    nn::Matrix outputScratch_;  ///< model predictions (reused per call)
 
     // Registry handles (resolved once; recording is lock-free).
     util::Counter *trainStepsMetric_;

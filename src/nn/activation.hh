@@ -45,6 +45,11 @@ void applyActivationInPlace(Activation act, Matrix &values);
  */
 Matrix activationDerivative(Activation act, const Matrix &pre_activation);
 
+/** activationDerivative computed into `out` (reshaped first) — the
+ *  allocation-free variant used by the training hot path. */
+void activationDerivativeInto(Activation act, const Matrix &pre_activation,
+                              Matrix &out);
+
 /** Scalar forms (used by the streaming predictors and tests). */
 double activate(Activation act, double x);
 double activateDerivative(Activation act, double x);

@@ -24,32 +24,50 @@ DenseLayer::DenseLayer(size_t input_size, size_t output_size, Activation act,
 Matrix
 DenseLayer::forward(const Matrix &input, bool training)
 {
-    if (input.cols() != weights_.rows())
-        panic("DenseLayer::forward: input width %zu != %zu", input.cols(),
-              weights_.rows());
-    // One allocation (the returned matrix); bias and activation are
-    // applied in place instead of materializing intermediates.
-    Matrix pre = input.matmul(weights_);
-    pre.addRowBroadcastInPlace(bias_);
-    if (training) {
-        cachedInput_ = input;
-        cachedPreAct_ = pre;
-    }
-    applyActivationInPlace(act_, pre);
-    return pre;
+    Matrix out;
+    forwardInto(input, training, out);
+    return out;
 }
 
 Matrix
 DenseLayer::backward(const Matrix &grad_output)
 {
+    Matrix grad_input;
+    backwardInto(grad_output, grad_input);
+    return grad_input;
+}
+
+void
+DenseLayer::forwardInto(const Matrix &input, bool training, Matrix &out)
+{
+    if (input.cols() != weights_.rows())
+        panic("DenseLayer::forward: input width %zu != %zu", input.cols(),
+              weights_.rows());
+    // Bias and activation are applied in place instead of
+    // materializing intermediates; `out` is caller-owned scratch.
+    input.matmulInto(weights_, out);
+    out.addRowBroadcastInPlace(bias_);
+    if (training) {
+        cachedInput_ = input;
+        cachedPreAct_ = out;
+    }
+    applyActivationInPlace(act_, out);
+}
+
+void
+DenseLayer::backwardInto(const Matrix &grad_output, Matrix &grad_input)
+{
     if (cachedInput_.empty())
         panic("DenseLayer::backward without a training forward pass");
-    Matrix grad_pre = activationDerivative(act_, cachedPreAct_);
-    grad_pre.hadamardInPlace(grad_output);
-    cachedInput_.transposedMatmulInto(grad_pre, gradScratch_);
+    activationDerivativeInto(act_, cachedPreAct_, gradPreScratch_);
+    gradPreScratch_.hadamardInPlace(grad_output);
+    cachedInput_.transposedMatmulInto(gradPreScratch_, gradScratch_);
     gradWeights_ += gradScratch_;
-    gradBias_ += grad_pre.columnSums();
-    return grad_pre.matmulTransposed(weights_);
+    // Sum fully into scratch, then add once — accumulating directly
+    // into gradBias_ would change the rounding sequence.
+    gradPreScratch_.columnSumsInto(biasScratch_);
+    gradBias_ += biasScratch_;
+    gradPreScratch_.matmulTransposedInto(weights_, grad_input);
 }
 
 std::vector<Matrix *>

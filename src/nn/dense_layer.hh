@@ -33,6 +33,14 @@ class DenseLayer : public Layer
     Matrix forward(const Matrix &input, bool training) override;
     Matrix backward(const Matrix &grad_output) override;
 
+    // Allocation-free hot-path variants (Sequential's scratch arena
+    // owns `out` / `grad_input`; all intermediates live in member
+    // scratch buffers sized on first use).
+    void forwardInto(const Matrix &input, bool training,
+                     Matrix &out) override;
+    void backwardInto(const Matrix &grad_output,
+                      Matrix &grad_input) override;
+
     std::vector<Matrix *> parameters() override;
     std::vector<Matrix *> gradients() override;
 
@@ -58,8 +66,10 @@ class DenseLayer : public Layer
     Matrix cachedInput_;
     Matrix cachedPreAct_;
 
-    // Reused weight-gradient scratch (kills per-batch allocations).
-    Matrix gradScratch_;
+    // Reused backward-pass scratch (kills per-batch allocations).
+    Matrix gradScratch_;    ///< weight-gradient accumulator input
+    Matrix gradPreScratch_; ///< activation derivative / pre-act grad
+    Matrix biasScratch_;    ///< column sums for the bias gradient
 };
 
 } // namespace nn

@@ -47,6 +47,26 @@ class Layer
      */
     virtual Matrix backward(const Matrix &grad_output) = 0;
 
+    /**
+     * forward() computed into a caller-owned buffer (reshaped by the
+     * layer). Layers on the training hot path override this to avoid
+     * per-call allocations; the default delegates to forward() and
+     * moves the result, so overriding is optional.
+     */
+    virtual void
+    forwardInto(const Matrix &input, bool training, Matrix &out)
+    {
+        out = forward(input, training);
+    }
+
+    /** backward() computed into a caller-owned gradient buffer; same
+     *  contract and default-delegation as forwardInto(). */
+    virtual void
+    backwardInto(const Matrix &grad_output, Matrix &grad_input)
+    {
+        grad_input = backward(grad_output);
+    }
+
     /** Flattened list of parameter tensors (paired with gradients()). */
     virtual std::vector<Matrix *> parameters() = 0;
 

@@ -42,6 +42,20 @@ MseLoss::gradient(const Matrix &predictions, const Matrix &targets)
     return grad;
 }
 
+void
+MseLoss::gradientInto(const Matrix &predictions, const Matrix &targets,
+                      Matrix &out)
+{
+    checkShapes(predictions, targets, "MseLoss::gradientInto");
+    out.reshape(predictions.rows(), predictions.cols());
+    const double scale = 2.0 / static_cast<double>(predictions.size());
+    // Per element: subtract, then scale — the same two operations in
+    // the same order as the allocating variant, so bit-identical.
+    for (size_t i = 0; i < predictions.size(); ++i)
+        out.data()[i] =
+            (predictions.data()[i] - targets.data()[i]) * scale;
+}
+
 double
 MaeLoss::value(const Matrix &predictions, const Matrix &targets)
 {

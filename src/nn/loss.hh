@@ -22,6 +22,11 @@ class MseLoss
 
     /** Gradient of the loss with respect to the predictions. */
     static Matrix gradient(const Matrix &predictions, const Matrix &targets);
+
+    /** gradient computed into `out` (reshaped first) — the
+     *  allocation-free variant used by the training hot path. */
+    static void gradientInto(const Matrix &predictions,
+                             const Matrix &targets, Matrix &out);
 };
 
 /**

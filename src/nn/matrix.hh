@@ -7,19 +7,29 @@
  * transpose, elementwise arithmetic, row/column reductions and random
  * initialization. All shape violations are programming errors and panic.
  *
- * Performance notes: matmul is tiled over column stripes and, above a
- * flop threshold, parallelized over output-row chunks on the global
- * thread pool — both transforms preserve the per-element accumulation
- * order, so results are bit-identical to the naive serial loop
+ * Performance notes: above measured shape crossovers (gemmPlan in
+ * matrix.cc — the single source of truth), matmul and both transposed
+ * products run a register-blocked micro-kernel over B panels packed
+ * into contiguous column strips, and above a flop threshold the rows
+ * are split across the global thread pool — every transform preserves
+ * the per-element ascending-k accumulation order (and the zero-lhs
+ * skip), so results are bit-identical to the naive serial loop
  * (matmulNaive, kept as the test reference). Element bounds checks are
  * compiled in only when GEO_CHECK_BOUNDS is defined (the default
  * build); GEO_NATIVE release builds drop them from the hot loops.
+ *
+ * Every acquisition of a fresh element buffer (constructor, copy,
+ * growth in reshape/assignment) bumps a process-wide counter,
+ * allocationCount(), so tests can assert that steady-state hot loops
+ * stop allocating once their scratch arenas are sized.
  */
 
 #ifndef GEO_NN_MATRIX_HH
 #define GEO_NN_MATRIX_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -43,6 +53,13 @@ class Matrix
 
     /** rows x cols matrix filled with `fill`. */
     Matrix(size_t rows, size_t cols, double fill);
+
+    // Copies count buffer acquisitions (see allocationCount); moves
+    // transfer the existing buffer and do not.
+    Matrix(const Matrix &other);
+    Matrix &operator=(const Matrix &other);
+    Matrix(Matrix &&other) noexcept = default;
+    Matrix &operator=(Matrix &&other) noexcept = default;
 
     /** Build from nested initializer data (rows of equal length). */
     static Matrix fromRows(
@@ -130,6 +147,10 @@ class Matrix
     /** Column-wise sums as a 1 x cols matrix. */
     Matrix columnSums() const;
 
+    /** columnSums computed into `out` (reshaped first) — the
+     *  allocation-free variant used by the training hot path. */
+    void columnSumsInto(Matrix &out) const;
+
     /** Copy of row r as a 1 x cols matrix. */
     Matrix row(size_t r) const;
 
@@ -167,10 +188,34 @@ class Matrix
     /** True if any element is NaN or infinite. */
     bool hasNonFinite() const;
 
-    bool operator==(const Matrix &other) const = default;
+    bool operator==(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+    /**
+     * Process-wide count of element-buffer acquisitions: non-empty
+     * construction, copies, and any reshape/assignment that has to
+     * grow capacity. Steady-state hot loops that reuse sized scratch
+     * buffers leave this flat — tests/nn/test_alloc_regression.cc
+     * pins that property for the retrain loop.
+     */
+    static uint64_t allocationCount()
+    {
+        return allocCount_.load(std::memory_order_relaxed);
+    }
 
   private:
     [[noreturn]] void panicOutOfRange(size_t r, size_t c) const;
+
+    static void
+    countAllocation()
+    {
+        allocCount_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    static std::atomic<uint64_t> allocCount_;
 
     size_t rows_ = 0;
     size_t cols_ = 0;

@@ -80,6 +80,14 @@ class SgdOptimizer : public Optimizer
 
 /**
  * Adam optimizer (Kingma & Ba 2015).
+ *
+ * The first/second moments are packed per tensor into two contiguous
+ * arrays so the update is one fused pass per parameter tensor (and can
+ * be row-chunked across the thread pool for very large tensors — the
+ * per-element update is independent, so chunking cannot change
+ * results). Checkpoints still serialize the per-tensor
+ * rows/cols/m/v records of the original format, reconstructed from
+ * the flat arrays, so `geo-ckpt-1` payloads round-trip unchanged.
  */
 class AdamOptimizer : public Optimizer
 {
@@ -101,8 +109,13 @@ class AdamOptimizer : public Optimizer
     double beta2_;
     double epsilon_;
     size_t t_ = 0;
-    std::vector<Matrix> m_;
-    std::vector<Matrix> v_;
+    // Flat-packed moments; tensor i occupies [offsets_[i],
+    // offsets_[i] + rows*cols) in both arrays, in parameter-list
+    // order. shapes_ keeps (rows, cols) for serialization.
+    std::vector<double> mFlat_;
+    std::vector<double> vFlat_;
+    std::vector<std::pair<size_t, size_t>> shapes_;
+    std::vector<size_t> offsets_;
 };
 
 } // namespace nn

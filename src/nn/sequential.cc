@@ -1,5 +1,6 @@
 #include "nn/sequential.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -24,6 +25,8 @@ Sequential::add(std::unique_ptr<Layer> layer)
               layer->inputSize(), layers_.back()->outputSize());
     }
     layers_.push_back(std::move(layer));
+    paramCache_.clear();
+    gradCache_.clear();
 }
 
 size_t
@@ -42,58 +45,95 @@ Sequential::outputSize() const
     return layers_.back()->outputSize();
 }
 
+const Matrix &
+Sequential::runForward(const Matrix &inputs, bool training)
+{
+    const Matrix *cur = &inputs;
+    Matrix *next = &fwdA_;
+    for (auto &layer : layers_) {
+        layer->forwardInto(*cur, training, *next);
+        cur = next;
+        next = (next == &fwdA_) ? &fwdB_ : &fwdA_;
+    }
+    return *cur;
+}
+
+const Matrix &
+Sequential::runBackward(const Matrix &grad_output)
+{
+    const Matrix *cur = &grad_output;
+    Matrix *next = &bwdA_;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        (*it)->backwardInto(*cur, *next);
+        cur = next;
+        next = (next == &bwdA_) ? &bwdB_ : &bwdA_;
+    }
+    return *cur;
+}
+
 Matrix
 Sequential::predict(const Matrix &inputs)
 {
-    Matrix x = inputs;
-    for (auto &layer : layers_)
-        x = layer->forward(x, /*training=*/false);
-    return x;
+    Matrix out;
+    predictInto(inputs, out);
+    return out;
+}
+
+void
+Sequential::predictInto(const Matrix &inputs, Matrix &out)
+{
+    out = runForward(inputs, /*training=*/false);
 }
 
 Matrix
 Sequential::forward(const Matrix &inputs)
 {
-    Matrix x = inputs;
-    for (auto &layer : layers_)
-        x = layer->forward(x, /*training=*/true);
-    return x;
+    return runForward(inputs, /*training=*/true);
 }
 
 Matrix
 Sequential::backward(const Matrix &grad_output)
 {
-    Matrix g = grad_output;
-    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-        g = (*it)->backward(g);
-    return g;
+    return runBackward(grad_output);
+}
+
+const std::vector<Matrix *> &
+Sequential::cachedParameters()
+{
+    if (paramCache_.empty())
+        for (auto &layer : layers_)
+            for (Matrix *p : layer->parameters())
+                paramCache_.push_back(p);
+    return paramCache_;
+}
+
+const std::vector<Matrix *> &
+Sequential::cachedGradients()
+{
+    if (gradCache_.empty())
+        for (auto &layer : layers_)
+            for (Matrix *g : layer->gradients())
+                gradCache_.push_back(g);
+    return gradCache_;
 }
 
 std::vector<Matrix *>
 Sequential::parameters()
 {
-    std::vector<Matrix *> all;
-    for (auto &layer : layers_)
-        for (Matrix *p : layer->parameters())
-            all.push_back(p);
-    return all;
+    return cachedParameters();
 }
 
 std::vector<Matrix *>
 Sequential::gradients()
 {
-    std::vector<Matrix *> all;
-    for (auto &layer : layers_)
-        for (Matrix *g : layer->gradients())
-            all.push_back(g);
-    return all;
+    return cachedGradients();
 }
 
 void
 Sequential::zeroGrad()
 {
-    for (auto &layer : layers_)
-        layer->zeroGrad();
+    for (Matrix *g : cachedGradients())
+        g->zero();
 }
 
 size_t
@@ -110,10 +150,11 @@ Sequential::trainBatch(const Matrix &inputs, const Matrix &targets,
                        Optimizer &opt)
 {
     zeroGrad();
-    Matrix predictions = forward(inputs);
+    const Matrix &predictions = runForward(inputs, /*training=*/true);
     double loss = MseLoss::value(predictions, targets);
-    backward(MseLoss::gradient(predictions, targets));
-    opt.step(parameters(), gradients());
+    MseLoss::gradientInto(predictions, targets, lossGrad_);
+    runBackward(lossGrad_);
+    opt.step(cachedParameters(), cachedGradients());
     return loss;
 }
 
@@ -127,6 +168,9 @@ Sequential::train(const Dataset &train_data, const Dataset &validation,
         panic("Sequential::train: batchSize must be >= 1");
 
     TrainResult result;
+    result.trainLoss.reserve(options.epochs);
+    if (!validation.empty())
+        result.validationLoss.reserve(options.epochs);
     auto start = std::chrono::steady_clock::now();
 
     size_t n = train_data.size();
@@ -142,17 +186,22 @@ Sequential::train(const Dataset &train_data, const Dataset &validation,
             shuffle_rng.shuffle(order);
 
         StatAccumulator epoch_loss;
+        const size_t in_w = train_data.inputs.cols();
+        const size_t tgt_w = train_data.targets.cols();
         for (size_t begin = 0; begin < n; begin += options.batchSize) {
             size_t end = std::min(begin + options.batchSize, n);
-            Matrix batch_in(end - begin, train_data.inputs.cols());
-            Matrix batch_tgt(end - begin, train_data.targets.cols());
+            // Stage rows directly into the arena buffers — no row()
+            // temporaries, no per-batch matrices.
+            batchIn_.reshape(end - begin, in_w);
+            batchTgt_.reshape(end - begin, tgt_w);
             for (size_t i = begin; i < end; ++i) {
-                batch_in.setBlock(i - begin, 0,
-                                  train_data.inputs.row(order[i]));
-                batch_tgt.setBlock(i - begin, 0,
-                                   train_data.targets.row(order[i]));
+                const size_t r = order[i];
+                std::copy_n(&train_data.inputs.data()[r * in_w], in_w,
+                            &batchIn_.data()[(i - begin) * in_w]);
+                std::copy_n(&train_data.targets.data()[r * tgt_w], tgt_w,
+                            &batchTgt_.data()[(i - begin) * tgt_w]);
             }
-            double loss = trainBatch(batch_in, batch_tgt, opt);
+            double loss = trainBatch(batchIn_, batchTgt_, opt);
             if (!std::isfinite(loss)) {
                 result.diverged = true;
                 break;
@@ -192,7 +241,8 @@ Sequential::evaluate(const Dataset &data)
 {
     if (data.empty())
         panic("Sequential::evaluate: empty dataset");
-    return MseLoss::value(predict(data.inputs), data.targets);
+    return MseLoss::value(runForward(data.inputs, /*training=*/false),
+                          data.targets);
 }
 
 std::string

@@ -73,6 +73,10 @@ class Sequential
     /** Forward pass without caching (inference). */
     Matrix predict(const Matrix &inputs);
 
+    /** predict computed into `out` via the scratch arena — no
+     *  allocations once the arena is sized (inference hot path). */
+    void predictInto(const Matrix &inputs, Matrix &out);
+
     /** Forward pass caching state for backward(). */
     Matrix forward(const Matrix &inputs);
 
@@ -118,7 +122,34 @@ class Sequential
     bool looksDiverged(const Dataset &probe);
 
   private:
+    /** Arena-backed forward pass ping-ponging fwdA_/fwdB_ (the Into
+     *  kernels forbid operand/output aliasing, so layer i always reads
+     *  one buffer and writes the other). Returns the final
+     *  activations, which live in an arena buffer. */
+    const Matrix &runForward(const Matrix &inputs, bool training);
+
+    /** Arena-backed backward pass (bwdA_/bwdB_ ping-pong). */
+    const Matrix &runBackward(const Matrix &grad_output);
+
+    /** parameters()/gradients() pointer lists, built once per model
+     *  topology (add() invalidates) so the step loop stops
+     *  re-collecting them every batch. */
+    const std::vector<Matrix *> &cachedParameters();
+    const std::vector<Matrix *> &cachedGradients();
+
     std::vector<std::unique_ptr<Layer>> layers_;
+
+    // Scratch arena for the training/inference hot paths: sized by the
+    // first epoch, reused (capacity is never released) afterwards —
+    // steady-state epochs allocate nothing (pinned by
+    // tests/nn/test_alloc_regression.cc).
+    Matrix fwdA_, fwdB_;       ///< forward activation ping-pong
+    Matrix bwdA_, bwdB_;       ///< backward gradient ping-pong
+    Matrix lossGrad_;          ///< MSE gradient buffer
+    Matrix batchIn_, batchTgt_; ///< staged mini-batch rows
+
+    std::vector<Matrix *> paramCache_;
+    std::vector<Matrix *> gradCache_;
 };
 
 } // namespace nn

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Bit-identity tests for the packed register-blocked GEMM paths.
+ *
+ * test_matrix_parallel.cc covers small and boundary shapes that mostly
+ * stay on the plain kernels; the shapes here sit above the measured
+ * crossovers in matrix.cc's kernel plan, forcing the B-panel packing
+ * and micro-tile code for all three products. The packed kernels may
+ * reorganize memory layout and tile traversal, but every (i, j)'s
+ * depth index must still ascend with the naive loop's zero-lhs skip,
+ * so results are required to be bitwise equal to matmulNaive — not
+ * just close.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "nn/matrix.hh"
+#include "util/random.hh"
+
+namespace geo {
+namespace nn {
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix m(rows, cols);
+    m.fillNormal(rng, 1.0);
+    return m;
+}
+
+void
+expectBitwiseEqual(const Matrix &a, const Matrix &b, const char *what)
+{
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            ASSERT_EQ(a.at(r, c), b.at(r, c))
+                << what << " differs at (" << r << ", " << c << ")";
+}
+
+TEST(PackedKernels, MatmulAboveCrossoverMatchesNaive)
+{
+    Rng rng(2024);
+    // All shapes clear the packed-kernel plan for A*B; widths exercise
+    // full panels, a narrow tail panel (n % 8 != 0) and row tails
+    // (m % 4 != 0).
+    const std::vector<std::array<size_t, 3>> shapes = {
+        {128, 128, 128}, {130, 128, 121}, {64, 300, 37},
+        {17, 256, 260},  {256, 64, 128},  {101, 101, 101},
+    };
+    for (const auto &[m, k, n] : shapes) {
+        Matrix a = randomMatrix(m, k, rng);
+        Matrix b = randomMatrix(k, n, rng);
+        expectBitwiseEqual(a.matmul(b), a.matmulNaive(b), "packed matmul");
+    }
+}
+
+TEST(PackedKernels, MatmulTransposedAboveCrossoverMatchesNaive)
+{
+    Rng rng(2025);
+    const std::vector<std::array<size_t, 3>> shapes = {
+        {128, 128, 128}, {130, 150, 99}, {64, 400, 41}, {200, 80, 200},
+    };
+    for (const auto &[m, k, n] : shapes) {
+        Matrix a = randomMatrix(m, k, rng);
+        Matrix bt = randomMatrix(n, k, rng); // b transposed: n x k
+        expectBitwiseEqual(a.matmulTransposed(bt),
+                           a.matmulNaive(bt.transposed()),
+                           "packed matmulTransposed");
+    }
+}
+
+TEST(PackedKernels, TransposedMatmulAboveCrossoverMatchesNaive)
+{
+    Rng rng(2026);
+    const std::vector<std::array<size_t, 3>> shapes = {
+        {128, 128, 128}, {150, 130, 99}, {400, 64, 41}, {80, 200, 200},
+    };
+    for (const auto &[k, m, n] : shapes) {
+        Matrix at = randomMatrix(k, m, rng); // a transposed: k x m
+        Matrix b = randomMatrix(k, n, rng);
+        expectBitwiseEqual(at.transposedMatmul(b),
+                           at.transposed().matmulNaive(b),
+                           "packed transposedMatmul");
+    }
+}
+
+TEST(PackedKernels, SparseLhsTakesZeroSkipPath)
+{
+    // ReLU activations hand the backward pass matrices full of exact
+    // zeros; the packed kernels must take the same zero-lhs skips as
+    // the naive loop (dropping them would change NaN/rounding
+    // behaviour, not just speed).
+    Rng rng(2027);
+    Matrix a = randomMatrix(128, 128, rng);
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            if ((r * 31 + c) % 3 != 0)
+                a.at(r, c) = 0.0;
+    Matrix b = randomMatrix(128, 128, rng);
+    expectBitwiseEqual(a.matmul(b), a.matmulNaive(b), "sparse packed");
+    Matrix bt = randomMatrix(128, 128, rng);
+    expectBitwiseEqual(a.matmulTransposed(bt),
+                       a.matmulNaive(bt.transposed()),
+                       "sparse packed ABt");
+    expectBitwiseEqual(a.transposedMatmul(b),
+                       a.transposed().matmulNaive(b), "sparse packed AtB");
+}
+
+TEST(PackedKernels, RandomizedShapesAllProducts)
+{
+    // Fuzz across the crossover: shapes land on both sides of the
+    // kernel plan, so this continuously re-checks that plan selection
+    // never changes results.
+    Rng rng(424242);
+    for (int iter = 0; iter < 25; ++iter) {
+        const size_t m = static_cast<size_t>(rng.uniformInt(1, 128));
+        const size_t k = static_cast<size_t>(rng.uniformInt(1, 128));
+        const size_t n = static_cast<size_t>(rng.uniformInt(1, 128));
+        Matrix a = randomMatrix(m, k, rng);
+        Matrix b = randomMatrix(k, n, rng);
+        expectBitwiseEqual(a.matmul(b), a.matmulNaive(b), "fuzz AB");
+        Matrix bt = randomMatrix(n, k, rng);
+        expectBitwiseEqual(a.matmulTransposed(bt),
+                           a.matmulNaive(bt.transposed()), "fuzz ABt");
+        Matrix b2 = randomMatrix(m, n, rng);
+        expectBitwiseEqual(a.transposedMatmul(b2),
+                           a.transposed().matmulNaive(b2), "fuzz AtB");
+    }
+}
+
+TEST(PackedKernels, ColumnSumsIntoMatchesColumnSums)
+{
+    Rng rng(7);
+    Matrix a = randomMatrix(33, 21, rng);
+    Matrix out(1, 1, 5.0); // wrong shape, stale values
+    a.columnSumsInto(out);
+    expectBitwiseEqual(out, a.columnSums(), "columnSumsInto");
+}
+
+} // namespace
+} // namespace nn
+} // namespace geo

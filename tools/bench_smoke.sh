@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Perf-baseline smoke test: run the micro_benchmarks perf suite in
 # reduced (quick) mode and validate the BENCH_perf.json it emits
-# against the geo-perf-1 schema.  Catches a broken perf harness (or a
+# against the geo-perf-2 schema.  Catches a broken perf harness (or a
 # benchmark that stopped emitting a section) without paying for the
 # full measurement run.  Also runs geomancy_sim with --metrics-json
 # and validates the geo-metrics-1 snapshot schema end to end.
@@ -36,7 +36,7 @@ def fail(message):
     print(f"bench_smoke: {message}", file=sys.stderr)
     sys.exit(1)
 
-if doc.get("schema") != "geo-perf-1":
+if doc.get("schema") != "geo-perf-2":
     fail(f"unexpected schema {doc.get('schema')!r}")
 if not isinstance(doc.get("threads"), int) or doc["threads"] < 1:
     fail("threads must be a positive integer")
@@ -45,11 +45,25 @@ gemm = doc.get("gemm")
 if not isinstance(gemm, list) or not gemm:
     fail("gemm section missing or empty")
 for entry in gemm:
-    for key in ("m", "k", "n", "naive_ms", "tiled_ms", "speedup"):
+    for key in ("m", "k", "n", "naive_ms", "fast_ms", "speedup"):
         if key not in entry:
             fail(f"gemm entry missing {key}: {entry}")
-    if entry["naive_ms"] <= 0 or entry["tiled_ms"] <= 0:
+    if entry["naive_ms"] <= 0 or entry["fast_ms"] <= 0:
         fail(f"gemm timings must be positive: {entry}")
+
+train = doc.get("train")
+if not isinstance(train, dict):
+    fail("train section missing")
+for key in ("epoch_ms", "retrain_ms", "retrain_epochs",
+            "steady_state_allocs"):
+    if key not in train:
+        fail(f"train missing {key}")
+if train["epoch_ms"] <= 0 or train["retrain_ms"] <= 0:
+    fail(f"train timings must be positive: {train}")
+if train["steady_state_allocs"] != 0:
+    fail("steady-state training epochs allocated "
+         f"{train['steady_state_allocs']} Matrix buffers (want 0: the "
+         "scratch arena must absorb epochs after the first)")
 
 scoring = doc.get("candidate_scoring")
 if not isinstance(scoring, dict):
@@ -88,7 +102,8 @@ for key in ("counter_ns", "histogram_ns", "plain_loop_ns"):
         fail(f"metrics_overhead {key} must be non-negative")
 
 print("bench_smoke: BENCH_perf.json schema OK "
-      f"({len(gemm)} gemm sizes, scoring speedup "
+      f"({len(gemm)} gemm sizes, epoch {train['epoch_ms']:.1f} ms / "
+      f"0 steady-state allocs, scoring speedup "
       f"{scoring['speedup']:.2f}x, bitwise_equal="
       f"{scoring['bitwise_equal']}, counter overhead "
       f"{overhead['counter_ns']:.1f} ns)")

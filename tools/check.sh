@@ -34,6 +34,19 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 echo "== check.sh: all tests passed under address;undefined =="
 
+# Perf-suite smoke under the sanitizers: the packed GEMM kernels,
+# scratch arena and fused optimizer run their real (quick-size) shapes
+# with bounds/UB checking on.  Timings are meaningless here; this is a
+# memory-safety gate for the hot paths the plain suite exercises at
+# full size.
+echo "== perf suite (quick mode) under ASan/UBSan =="
+perf_out="$(mktemp /tmp/geo_perf_asan.XXXXXX.json)"
+GEO_PERF_QUICK=1 GEO_SKIP_MICRO=1 GEO_PERF_OUT="${perf_out}" \
+    "${build_dir}/bench/micro_benchmarks"
+rm -f "${perf_out}"
+
+echo "== check.sh: perf suite clean under address;undefined =="
+
 # Crash-recovery drill: kill the pipeline at a mid-migration kill point
 # under the sanitizer build, let the supervisor restart it from the
 # checkpoint, and require the resumed run to be byte-identical to an
