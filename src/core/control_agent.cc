@@ -19,6 +19,7 @@ ControlAgent::ControlAgent(storage::StorageSystem &system, ReplayDb *db,
     skippedMetric_ = &registry.counter("control.moves_skipped");
     requeuedMetric_ = &registry.counter("control.moves_requeued");
     abandonedMetric_ = &registry.counter("control.moves_abandoned");
+    cancelledMetric_ = &registry.counter("control.moves_cancelled");
     supersededMetric_ = &registry.counter("control.moves_superseded");
     retriesMetric_ = &registry.counter("control.retries");
     bytesMetric_ = &registry.counter("control.bytes_moved");
@@ -204,12 +205,64 @@ ControlAgent::apply(const std::vector<MoveRequest> &moves)
             ++i;
         }
     }
-    for (const Pending &p : due)
+    // Retries that came due go back to the queue when the migrate
+    // budget runs out mid-batch: unlike fresh requests (which the next
+    // cycle re-proposes from newer data), a dropped retry would orphan
+    // the Failed entry in the attempt log.
+    size_t due_done = 0;
+    for (const Pending &p : due) {
+        if (overBudget()) {
+            for (size_t i = due_done; i < due.size(); ++i)
+                pending_.push_back(due[i]);
+            break;
+        }
         attemptMove(p.req, p.attempts, p.firstAttempt, summary);
+        ++due_done;
+    }
 
-    for (const MoveRequest &req : moves)
+    for (const MoveRequest &req : moves) {
+        if (overBudget())
+            break;
         attemptMove(req, 0, system_.clock().now(), summary);
+    }
+
+    size_t attempted = summary.outcomes.size();
+    size_t owed = due.size() + moves.size();
+    if (attempted < owed) {
+        summary.cancelled = owed - attempted;
+        cancelledMetric_->add(summary.cancelled);
+        warn("control: migrate deadline hit, %zu move%s deferred",
+             summary.cancelled, summary.cancelled == 1 ? "" : "s");
+    }
     return summary;
+}
+
+bool
+ControlAgent::overBudget()
+{
+    return watchdog_ && watchdog_->poll(system_.clock().now());
+}
+
+size_t
+ControlAgent::abandonPending()
+{
+    size_t count = pending_.size();
+    for (const Pending &p : pending_) {
+        AppliedMove fate;
+        fate.file = p.req.file;
+        fate.from = system_.location(p.req.file);
+        fate.to = p.req.target;
+        fate.outcome = AttemptOutcome::Abandoned;
+        fate.attempt = p.attempts + 1;
+        logAttempt(fate, 0);
+        abandonedMetric_->inc();
+        ++totalAbandoned_;
+    }
+    pending_.clear();
+    if (count > 0)
+        warn("control: abandoned %zu pending retr%s (safe mode)", count,
+             count == 1 ? "y" : "ies");
+    return count;
 }
 
 size_t

@@ -24,6 +24,7 @@
 #include "util/metrics.hh"
 #include "util/random.hh"
 #include "util/state_io.hh"
+#include "util/watchdog.hh"
 
 namespace geo {
 namespace core {
@@ -80,6 +81,7 @@ struct MoveSummary
     size_t failed = 0;    ///< fault-aborted attempts this batch
     size_t abandoned = 0; ///< moves given up (budget/deadline)
     size_t requeued = 0;  ///< fault-aborted moves queued for retry
+    size_t cancelled = 0; ///< not attempted: the watchdog fired
     uint64_t bytesMoved = 0;
     double transferSeconds = 0.0;
     /** Per-request fates, in execution order (retries included). */
@@ -109,6 +111,21 @@ class ControlAgent
 
     /** Moves currently awaiting a retry. */
     size_t pendingRetries() const { return pending_.size(); }
+
+    /**
+     * Cooperative deadline enforcement: when set, the watchdog is
+     * polled before every attempt inside apply(); once it fires the
+     * remaining moves of the batch are counted as cancelled and left
+     * for the next cycle. Null disables (the default).
+     */
+    void setWatchdog(util::Watchdog *watchdog) { watchdog_ = watchdog; }
+
+    /**
+     * Abandon every pending retry (safe-mode entry): each queued move
+     * is logged as Abandoned so the attempt log stays an exact record
+     * of the move's fate. @return moves abandoned.
+     */
+    size_t abandonPending();
 
     /**
      * Rebuild the pending-retry queue from the ReplayDB attempt log:
@@ -144,6 +161,7 @@ class ControlAgent
     storage::StorageSystem &system_;
     ReplayDb *db_;
     ControlAgentConfig config_;
+    util::Watchdog *watchdog_ = nullptr;
     Rng rng_;
     std::deque<Pending> pending_;
     uint64_t totalMoves_ = 0;
@@ -157,6 +175,7 @@ class ControlAgent
     util::Counter *skippedMetric_;
     util::Counter *requeuedMetric_;
     util::Counter *abandonedMetric_;
+    util::Counter *cancelledMetric_;
     util::Counter *supersededMetric_;
     util::Counter *retriesMetric_;
     util::Counter *bytesMetric_;
@@ -166,6 +185,8 @@ class ControlAgent
     /** Run one attempt of one move; updates summary, queue and log. */
     void attemptMove(const MoveRequest &req, size_t prior_attempts,
                      double first_attempt, MoveSummary &summary);
+    /** True once the migrate-phase watchdog has fired. */
+    bool overBudget();
     double backoffDelay(size_t attempts);
     void logAttempt(const AppliedMove &fate, uint64_t bytes_copied);
 };

@@ -26,6 +26,7 @@ DrlEngine::DrlEngine(const DrlConfig &config)
     trainStepsMetric_ = &registry.counter("drl.train_steps");
     divergedMetric_ = &registry.counter("drl.diverged");
     trainDivergedMetric_ = &registry.counter("drl.train.diverged");
+    trainCancelledMetric_ = &registry.counter("drl.train.cancelled");
     rollbackMetric_ = &registry.counter("drl.train.rollbacks");
     trainMsMetric_ = &registry.histogram("drl.train_ms");
     trainRowsMetric_ = &registry.histogram("drl.train_rows");
@@ -52,10 +53,31 @@ DrlEngine::retrain(const TrainingBatch &batch)
     nn::TrainOptions options;
     options.epochs = config_.epochs;
     options.batchSize = config_.batchSize;
+    options.cancel = cancelToken_;
     nn::TrainResult result =
         model_.train(split.train, split.validation, optimizer_, options);
     stats.trained = true;
     stats.seconds = result.seconds;
+    if (result.cancelled) {
+        // The watchdog cut training short: a half-trained model is not
+        // trustworthy, so roll back exactly like a divergence and let
+        // the next healthy cycle retrain from the last good weights.
+        stats.cancelled = true;
+        trainCancelledMetric_->inc();
+        ready_ = false;
+        if (!lastGoodWeights_.empty()) {
+            std::istringstream is(lastGoodWeights_);
+            if (nn::loadWeights(model_, is)) {
+                rollbackMetric_->inc();
+                warn("DrlEngine: retrain cancelled by the watchdog; "
+                     "rolled weights back to the last good cycle");
+                return stats;
+            }
+        }
+        warn("DrlEngine: retrain cancelled by the watchdog; predictions "
+             "disabled until a successful cycle");
+        return stats;
+    }
     // Guard against numerical poison: a non-finite loss, a probe set
     // the model mangles, or NaN/Inf in the weights themselves.
     stats.diverged = result.diverged ||

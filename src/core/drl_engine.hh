@@ -48,6 +48,7 @@ struct RetrainStats
 {
     bool trained = false;       ///< false when the batch was too small
     bool diverged = false;
+    bool cancelled = false;     ///< cut short by the watchdog
     double seconds = 0.0;       ///< wall-clock training time
     double meanAbsRelError = 0.0; ///< % on the validation set
     double signedRelError = 0.0;  ///< % (sign drives the adjustment)
@@ -79,6 +80,17 @@ class DrlEngine
 
     /** True once at least one successful retrain has happened. */
     bool ready() const { return ready_; }
+
+    /**
+     * Cooperative cancellation for retrain(): the token is checked at
+     * every epoch boundary; a fired token aborts training, rolls the
+     * weights back to the last good cycle (like a divergence) and sets
+     * RetrainStats::cancelled. Null disables (the default).
+     */
+    void setCancelToken(const util::CancelToken *token)
+    {
+        cancelToken_ = token;
+    }
 
     /**
      * Predicted throughput (bytes/s) for a raw Z-feature row,
@@ -169,6 +181,7 @@ class DrlEngine
     /** Weights after the last non-diverged retrain (serialized text);
      *  the rollback target when training poisons the model. */
     std::string lastGoodWeights_;
+    const util::CancelToken *cancelToken_ = nullptr;
 
     // Preallocated batch buffers, reused across prediction calls.
     nn::Matrix rowScratch_;     ///< 1 x Z raw row for the scalar shim
@@ -179,6 +192,7 @@ class DrlEngine
     util::Counter *trainStepsMetric_;
     util::Counter *divergedMetric_;
     util::Counter *trainDivergedMetric_;
+    util::Counter *trainCancelledMetric_;
     util::Counter *rollbackMetric_;
     util::Histogram *trainMsMetric_;
     util::Histogram *trainRowsMetric_;

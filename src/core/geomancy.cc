@@ -27,6 +27,12 @@ Geomancy::Geomancy(storage::StorageSystem &system,
     control_cfg.seed ^= config_.seed; // jitter follows the master seed
     control_ =
         std::make_unique<ControlAgent>(system_, db_.get(), control_cfg);
+    guardrails_ =
+        std::make_unique<Guardrails>(config_.guardrails, system_.clock());
+    // Deadline enforcement is cooperative: training checks the token
+    // at epoch boundaries, migration polls before every attempt.
+    engine_->setCancelToken(&guardrails_->watchdog().token());
+    control_->setWatchdog(&guardrails_->watchdog());
     if (config_.useScheduler) {
         scheduler_ = std::make_unique<MovementScheduler>(
             system_, *db_, config_.scheduler);
@@ -41,10 +47,21 @@ Geomancy::Geomancy(storage::StorageSystem &system,
                 daemon_->receiveBatch(batch);
             },
             config_.agentBatchSize));
+        agents_.back()->setGuardrails(guardrails_.get());
     }
+    // Telemetry faults mangle what the agents *see*, never what the
+    // system *did* — the injector rewrites the observation in flight
+    // (and may echo it, modeling a double delivery).
     system_.onAccess([this](const storage::AccessObservation &obs) {
+        storage::AccessObservation seen = obs;
+        bool emit_duplicate = false;
+        if (storage::FaultInjector *injector = system_.faultInjector())
+            injector->mutateTelemetry(seen, emit_duplicate);
         for (auto &agent : agents_)
-            agent->observe(obs);
+            agent->observe(seen);
+        if (emit_duplicate)
+            for (auto &agent : agents_)
+                agent->observe(seen);
     });
 
     auto &registry = util::MetricRegistry::global();
@@ -147,33 +164,100 @@ Geomancy::runCycle()
     storage::FaultInjector *injector = system_.faultInjector();
     if (injector)
         injector->notifyCycle(cycles_);
+
+    // The quarantine window for this cycle covers everything observed
+    // since the previous cycle ended; the reset happens below, after
+    // the evidence is captured.
+    bool probe = guardrails_->probeDue(cycles_);
+    report.probe = probe;
+    report.safeMode = guardrails_->safeMode();
+    runCycleBody(report, probe, injector);
+
+    CycleEvidence evidence;
+    evidence.cycle = cycles_;
+    evidence.probe = probe;
+    evidence.overrun = guardrails_->cycleOverrun();
+    evidence.flood = guardrails_->quarantineFlood();
+    evidence.diverged =
+        report.retrain.diverged || report.retrain.cancelled;
+    evidence.trained = report.retrain.trained && !report.retrain.diverged &&
+                       !report.retrain.cancelled;
+    evidence.held = report.held;
+    GuardrailTransition transition = guardrails_->observeCycle(evidence);
+    if (transition == GuardrailTransition::Entered) {
+        // Freeze the layout at last-known-good: drain the retry queue
+        // so no deferred migration fires while frozen.
+        control_->abandonPending();
+    }
+    report.safeMode = guardrails_->safeMode();
+    guardrails_->beginCycle();
+    return report;
+}
+
+void
+Geomancy::runCycleBody(CycleReport &report, bool probe,
+                       storage::FaultInjector *injector)
+{
+    double now = system_.clock().now();
+    guardrails_->beginPhase("monitor", now);
     {
         GEO_SPAN("cycle", "monitor");
         flushAgents();
+    }
+    guardrails_->endPhase(system_.clock().now());
+
+    // Safe mode: the layout is frozen. Telemetry keeps flowing (the
+    // flush above) and probe cycles additionally retrain to test
+    // health, but nothing proposes or migrates until a healthy probe
+    // exits the mode.
+    if (guardrails_->safeMode() && !probe) {
+        report.skipped = true;
+        cyclesSkippedMetric_->inc();
+        return;
     }
 
     if (db_->accessCount() <
         static_cast<int64_t>(config_.minHistory)) {
         report.skipped = true;
         cyclesSkippedMetric_->inc();
-        return report;
+        return;
     }
 
+    guardrails_->beginPhase("train", system_.clock().now());
     {
         GEO_SPAN("cycle", "train");
         TrainingBatch batch =
             daemon_->buildTrainingBatch(system_.deviceIds());
         report.retrain = engine_->retrain(batch);
     }
+    guardrails_->endPhase(system_.clock().now());
     if (injector)
         injector->maybeCrash(storage::CrashPoint::AfterTrain);
-    if (!report.retrain.trained || report.retrain.diverged) {
+    if (!report.retrain.trained || report.retrain.diverged ||
+        report.retrain.cancelled) {
         report.skipped = true;
         cyclesSkippedMetric_->inc();
-        return report;
+        return;
+    }
+
+    if (guardrails_->safeMode())
+        return; // probe cycle: health is judged from the evidence
+
+    // Quarantine starvation: some telemetry was rejected and too
+    // little survived to trust a decision — hold the current layout.
+    if (guardrails_->holdLayout()) {
+        report.held = true;
+        report.skipped = true;
+        cyclesSkippedMetric_->inc();
+        warn("geomancy: cycle %zu holding layout (%zu admitted, %zu "
+             "quarantined)",
+             cycles_, guardrails_->cycleAdmitted(),
+             guardrails_->cycleQuarantined());
+        return;
     }
 
     std::vector<CheckedMove> moves;
+    guardrails_->beginPhase("propose", system_.clock().now());
     {
         GEO_SPAN("cycle", "propose");
         if (rng_.chance(config_.explorationRate)) {
@@ -190,11 +274,13 @@ Geomancy::runCycle()
                                          system_.clock().now());
         }
     }
+    guardrails_->endPhase(system_.clock().now());
     if (injector)
         injector->maybeCrash(storage::CrashPoint::AfterPropose);
     if (moves.empty() && control_->pendingRetries() == 0)
-        return report;
+        return;
 
+    guardrails_->beginPhase("migrate", system_.clock().now());
     {
         GEO_SPAN("cycle", "migrate");
         std::vector<MoveRequest> requests;
@@ -203,22 +289,22 @@ Geomancy::runCycle()
             requests.push_back({move.file, move.to});
         report.moves = control_->apply(requests);
     }
+    guardrails_->endPhase(system_.clock().now());
     report.acted = report.moves.applied > 0;
 
     // Let the scheduler's circuit breaker learn from move fates:
     // successes close a target's breaker, fault-class failures count
     // toward opening it.
     if (scheduler_) {
-        double now = system_.clock().now();
+        double move_now = system_.clock().now();
         for (const AppliedMove &fate : report.moves.outcomes) {
             if (fate.outcome == AttemptOutcome::Applied)
-                scheduler_->recordMoveOutcome(fate.to, true, now);
+                scheduler_->recordMoveOutcome(fate.to, true, move_now);
             else if (fate.outcome != AttemptOutcome::Skipped &&
                      storage::moveFailRetryable(fate.reason))
-                scheduler_->recordMoveOutcome(fate.to, false, now);
+                scheduler_->recordMoveOutcome(fate.to, false, move_now);
         }
     }
-    return report;
 }
 
 void
@@ -241,6 +327,9 @@ Geomancy::saveState(util::StateWriter &w)
     w.boolean("geo.has_scheduler", scheduler_ != nullptr);
     if (scheduler_)
         scheduler_->saveState(w);
+    // Guardrails: a crash in safe mode must resume in safe mode with
+    // the same probe schedule.
+    guardrails_->saveState(w);
     // ReplayDB watermark: rows past these ids were appended after the
     // cut (by the crashed process) and are rewound on restore so the
     // replayed cycles insert byte-identical history.
@@ -267,6 +356,8 @@ Geomancy::loadState(util::StateReader &r)
     }
     if (scheduler_ && r.ok())
         scheduler_->loadState(r);
+    if (r.ok())
+        guardrails_->loadState(r);
     ReplayDbWatermark wm;
     wm.accesses = static_cast<int64_t>(r.u64("geo.db_accesses"));
     wm.movements = static_cast<int64_t>(r.u64("geo.db_movements"));

@@ -21,6 +21,7 @@
 #include "core/action_checker.hh"
 #include "core/control_agent.hh"
 #include "core/drl_engine.hh"
+#include "core/guardrails.hh"
 #include "core/interface_daemon.hh"
 #include "core/monitoring_agent.hh"
 #include "core/movement_scheduler.hh"
@@ -63,6 +64,10 @@ struct GeomancyConfig
     SchedulerConfig scheduler;
     /** Control-agent chunking and retry policy. */
     ControlAgentConfig control;
+    /** Telemetry quarantine, decision deadlines and safe mode. With
+     *  the default knobs (budgets disabled) this is recording-only:
+     *  clean runs are byte-identical to a guardrail-free build. */
+    GuardrailsConfig guardrails;
 };
 
 /** Report of one decision cycle. */
@@ -71,6 +76,9 @@ struct CycleReport
     bool acted = false;          ///< any move applied
     bool explored = false;       ///< this was a random exploration cycle
     bool skipped = false;        ///< not enough history / model diverged
+    bool held = false;           ///< layout held (quarantine starvation)
+    bool safeMode = false;       ///< cycle ran (or ended) in safe mode
+    bool probe = false;          ///< this was a safe-mode probe cycle
     RetrainStats retrain;
     size_t proposedMoves = 0;
     MoveSummary moves;
@@ -113,6 +121,7 @@ class Geomancy
     InterfaceDaemon &daemon() { return *daemon_; }
     DrlEngine &engine() { return *engine_; }
     ControlAgent &controlAgent() { return *control_; }
+    Guardrails &guardrails() { return *guardrails_; }
 
     /** The movement scheduler, or null when disabled. */
     MovementScheduler *scheduler() { return scheduler_.get(); }
@@ -162,6 +171,7 @@ class Geomancy
     std::unique_ptr<DrlEngine> engine_;
     std::unique_ptr<ActionChecker> checker_;
     std::unique_ptr<ControlAgent> control_;
+    std::unique_ptr<Guardrails> guardrails_;
     std::unique_ptr<MovementScheduler> scheduler_; ///< optional
     std::vector<std::unique_ptr<MonitoringAgent>> agents_;
     size_t cycles_ = 0;
@@ -175,6 +185,11 @@ class Geomancy
 
     /** Flush all agents' pending batches into the ReplayDB. */
     void flushAgents();
+
+    /** The phase sequence of one cycle (early returns allowed; the
+     *  caller always feeds the evidence to the guardrails after). */
+    void runCycleBody(CycleReport &report, bool probe,
+                      storage::FaultInjector *injector);
 
     /** Propose checked moves from the current model. */
     std::vector<CheckedMove> proposeMoves();

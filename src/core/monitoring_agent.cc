@@ -1,5 +1,6 @@
 #include "core/monitoring_agent.hh"
 
+#include "core/guardrails.hh"
 #include "util/logging.hh"
 
 namespace geo {
@@ -25,9 +26,17 @@ MonitoringAgent::observe(const storage::AccessObservation &obs)
 {
     if (obs.device != device_)
         return;
-    pending_.push_back(PerfRecord::fromObservation(obs));
+    PerfRecord rec = PerfRecord::fromObservation(obs);
     ++observed_;
     recordsMetric_->inc();
+    // The previous record still pending in this batch anchors the
+    // duplicate check; the window intentionally resets at every flush
+    // so checkpoints carry no dedup state (crash/resume identity).
+    if (guardrails_ &&
+        !guardrails_->admit(rec,
+                            pending_.empty() ? nullptr : &pending_.back()))
+        return;
+    pending_.push_back(std::move(rec));
     if (pending_.size() >= batchSize_)
         flush();
 }

@@ -21,6 +21,8 @@
 namespace geo {
 namespace core {
 
+class Guardrails;
+
 /**
  * Monitoring agent for one storage device.
  */
@@ -40,6 +42,13 @@ class MonitoringAgent
     /** Candidate observation; ignored unless it hit this device. */
     void observe(const storage::AccessObservation &obs);
 
+    /**
+     * Validate every record through the guardrails before it enters
+     * the pending batch (quarantined records are counted as observed
+     * but never forwarded). Null disables validation (the default).
+     */
+    void setGuardrails(Guardrails *guardrails) { guardrails_ = guardrails; }
+
     /** Flush any partially filled batch to the sink. */
     void flush();
 
@@ -54,6 +63,7 @@ class MonitoringAgent
   private:
     storage::DeviceId device_;
     BatchSink sink_;
+    Guardrails *guardrails_ = nullptr;
     size_t batchSize_;
     std::vector<PerfRecord> pending_;
     uint64_t observed_ = 0;

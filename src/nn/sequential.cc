@@ -182,6 +182,10 @@ Sequential::train(const Dataset &train_data, const Dataset &validation,
     size_t stale = 0;
 
     for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        if (options.cancel && options.cancel->cancelled()) {
+            result.cancelled = true;
+            break;
+        }
         if (options.shuffle)
             shuffle_rng.shuffle(order);
 

@@ -18,6 +18,7 @@
 #include "nn/dataset.hh"
 #include "nn/layer.hh"
 #include "nn/optimizer.hh"
+#include "util/watchdog.hh"
 
 namespace geo {
 namespace nn {
@@ -28,6 +29,7 @@ struct TrainResult
     std::vector<double> trainLoss;      ///< per-epoch training loss
     std::vector<double> validationLoss; ///< per-epoch validation loss
     bool diverged = false;              ///< non-finite loss encountered
+    bool cancelled = false;             ///< cut short by a cancel token
     double seconds = 0.0;               ///< wall-clock training time
 };
 
@@ -44,6 +46,10 @@ struct TrainOptions
     /** Minimum absolute validation-loss improvement that counts as
      *  progress for early stopping. */
     double earlyStopMinDelta = 0.0;
+    /** Cooperative cancellation: checked at every epoch boundary; a
+     *  fired token stops training and sets TrainResult::cancelled
+     *  (null = never cancel). */
+    const util::CancelToken *cancel = nullptr;
 };
 
 /**

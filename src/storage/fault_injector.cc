@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 #include "storage/system.hh"
 #include "util/logging.hh"
@@ -22,6 +23,12 @@ faultKindName(FaultKind kind)
         return "degradation";
       case FaultKind::Outage:
         return "outage";
+      case FaultKind::CorruptTelemetry:
+        return "corrupt-telemetry";
+      case FaultKind::StaleTelemetry:
+        return "stale-telemetry";
+      case FaultKind::ClockSkew:
+        return "clock-skew";
     }
     return "unknown";
 }
@@ -74,6 +81,15 @@ validateEvent(const FaultEvent &event, size_t device_count)
         (event.magnitude <= 0.0 || event.magnitude > 1.0))
         panic("FaultInjector: degradation factor %f out of (0, 1]",
               event.magnitude);
+    if (event.kind == FaultKind::CorruptTelemetry &&
+        (event.magnitude < 0.0 || event.magnitude > 1.0))
+        panic("FaultInjector: corruption probability %f out of [0, 1]",
+              event.magnitude);
+    if ((event.kind == FaultKind::StaleTelemetry ||
+         event.kind == FaultKind::ClockSkew) &&
+        event.magnitude <= 0.0)
+        panic("FaultInjector: %s shift %f must be positive",
+              faultKindName(event.kind), event.magnitude);
 }
 
 } // namespace
@@ -87,8 +103,14 @@ FaultInjector::FaultInjector(StorageSystem &system,
         validateEvent(event, system_.deviceCount());
     wasActive_.assign(schedule_.size(), false);
     errorProb_.assign(system_.deviceCount(), 0.0);
+    corruptProb_.assign(system_.deviceCount(), 0.0);
+    staleShift_.assign(system_.deviceCount(), 0.0);
+    skewShift_.assign(system_.deviceCount(), 0.0);
+    auto &registry = util::MetricRegistry::global();
     injectedFailuresMetric_ =
-        &util::MetricRegistry::global().counter("faults.injected_failures");
+        &registry.counter("faults.injected_failures");
+    corruptedRecordsMetric_ =
+        &registry.counter("faults.telemetry_corrupted");
     applyState(0.0);
 }
 
@@ -122,9 +144,18 @@ FaultInjector::applyState(double now)
     size_t devices = system_.deviceCount();
     if (errorProb_.size() < devices)
         errorProb_.resize(devices, 0.0);
+    if (corruptProb_.size() < devices)
+        corruptProb_.resize(devices, 0.0);
+    if (staleShift_.size() < devices)
+        staleShift_.resize(devices, 0.0);
+    if (skewShift_.size() < devices)
+        skewShift_.resize(devices, 0.0);
     std::vector<double> factor(devices, 1.0);
     std::vector<bool> offline(devices, false);
     std::fill(errorProb_.begin(), errorProb_.end(), 0.0);
+    std::fill(corruptProb_.begin(), corruptProb_.end(), 0.0);
+    std::fill(staleShift_.begin(), staleShift_.end(), 0.0);
+    std::fill(skewShift_.begin(), skewShift_.end(), 0.0);
 
     for (size_t i = 0; i < schedule_.size(); ++i) {
         const FaultEvent &event = schedule_[i];
@@ -157,6 +188,18 @@ FaultInjector::applyState(double now)
           case FaultKind::Outage:
             offline[event.device] = true;
             break;
+          case FaultKind::CorruptTelemetry:
+            corruptProb_[event.device] =
+                std::max(corruptProb_[event.device], event.magnitude);
+            break;
+          case FaultKind::StaleTelemetry:
+            staleShift_[event.device] =
+                std::max(staleShift_[event.device], event.magnitude);
+            break;
+          case FaultKind::ClockSkew:
+            skewShift_[event.device] =
+                std::max(skewShift_[event.device], event.magnitude);
+            break;
         }
     }
     for (DeviceId id = 0; id < devices; ++id) {
@@ -186,6 +229,65 @@ double
 FaultInjector::errorProbability(DeviceId device) const
 {
     return device < errorProb_.size() ? errorProb_[device] : 0.0;
+}
+
+double
+FaultInjector::corruptProbability(DeviceId device) const
+{
+    return device < corruptProb_.size() ? corruptProb_[device] : 0.0;
+}
+
+bool
+FaultInjector::mutateTelemetry(AccessObservation &obs,
+                               bool &emit_duplicate)
+{
+    emit_duplicate = false;
+    DeviceId dev = obs.device;
+    if (dev >= corruptProb_.size())
+        return false;
+    bool mutated = false;
+    // Deterministic timestamp shifts: a delayed delivery path (stale)
+    // and a sensor clock running ahead of the daemon (skew). No
+    // randomness consumed — purely schedule-driven.
+    if (staleShift_[dev] > 0.0) {
+        obs.startTime -= staleShift_[dev];
+        obs.endTime -= staleShift_[dev];
+        mutated = true;
+    }
+    if (skewShift_[dev] > 0.0) {
+        obs.startTime += skewShift_[dev];
+        obs.endTime += skewShift_[dev];
+        mutated = true;
+    }
+    double p = corruptProb_[dev];
+    if (p > 0.0 && rng_.chance(p)) {
+        // Mangle one field per corrupted record, covering every
+        // quarantine class the validator must catch.
+        switch (rng_.uniformInt(0, 5)) {
+          case 0: // NaN reward
+            obs.throughput = std::numeric_limits<double>::quiet_NaN();
+            break;
+          case 1: // negative reward
+            obs.throughput = -obs.throughput - 1.0;
+            break;
+          case 2: // absurd byte count (feature overflow)
+            obs.readBytes = 1ULL << 60;
+            break;
+          case 3: // close before open (negative duration)
+            obs.endTime = obs.startTime - 1.0;
+            break;
+          case 4: // close time deep in the future
+            obs.endTime = obs.startTime + 1e7;
+            break;
+          default: // the sensor repeats itself
+            emit_duplicate = true;
+            break;
+        }
+        ++corruptedRecords_;
+        corruptedRecordsMetric_->inc();
+        mutated = true;
+    }
+    return mutated;
 }
 
 void
@@ -220,6 +322,7 @@ FaultInjector::saveState(util::StateWriter &w) const
     w.f64("fault.now", now_);
     w.rng("fault.rng", rng_);
     w.u64("fault.injected", injectedFailures_);
+    w.u64("fault.corrupted", corruptedRecords_);
     std::vector<double> active(wasActive_.size(), 0.0);
     for (size_t i = 0; i < wasActive_.size(); ++i)
         active[i] = wasActive_[i] ? 1.0 : 0.0;
@@ -232,6 +335,7 @@ FaultInjector::loadState(util::StateReader &r)
     double now = r.f64("fault.now");
     Rng::State rng = r.rng("fault.rng");
     uint64_t injected = r.u64("fault.injected");
+    uint64_t corrupted = r.u64("fault.corrupted");
     std::vector<double> active = r.f64Vec("fault.was_active");
     if (!r.ok())
         return;
@@ -242,6 +346,7 @@ FaultInjector::loadState(util::StateReader &r)
     now_ = now;
     rng_.setState(rng);
     injectedFailures_ = injected;
+    corruptedRecords_ = corrupted;
     for (size_t i = 0; i < active.size(); ++i)
         wasActive_[i] = active[i] != 0.0;
     applyState(now_);

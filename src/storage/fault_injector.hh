@@ -39,12 +39,21 @@ namespace geo {
 namespace storage {
 
 class StorageSystem;
+struct AccessObservation;
 
-/** The fault classes the injector can produce. */
+/** The fault classes the injector can produce.
+ *
+ *  The first three corrupt *reality* (the device misbehaves); the
+ *  telemetry kinds corrupt only what the monitoring agents *see* —
+ *  the ground-truth experiment series stays clean, which is exactly
+ *  what makes them the right fuel for the quarantine layer. */
 enum class FaultKind {
-    TransientErrors, ///< per-access failure probability (magnitude)
-    Degradation,     ///< bandwidth scaled by magnitude in (0, 1]
-    Outage,          ///< device offline; magnitude ignored
+    TransientErrors,  ///< per-access failure probability (magnitude)
+    Degradation,      ///< bandwidth scaled by magnitude in (0, 1]
+    Outage,           ///< device offline; magnitude ignored
+    CorruptTelemetry, ///< each observation mangled with prob. magnitude
+    StaleTelemetry,   ///< observations delivered magnitude seconds late
+    ClockSkew,        ///< sensor clock magnitude seconds in the future
 };
 
 /** Printable name of a fault kind. */
@@ -139,8 +148,26 @@ class FaultInjector
     /** Active per-access failure probability of a device. */
     double errorProbability(DeviceId device) const;
 
+    /**
+     * Apply any active telemetry faults to one observation, in place:
+     * StaleTelemetry shifts its timestamps into the past, ClockSkew
+     * into the future, and CorruptTelemetry mangles one field (NaN or
+     * negative throughput, absurd byte counts, negative duration,
+     * far-future close time) or asks the caller to deliver the record
+     * twice, with per-episode probability. Randomness is consumed only
+     * while a CorruptTelemetry episode is active on `obs.device`, so
+     * clean runs stay byte-identical. @return true when `obs` changed.
+     */
+    bool mutateTelemetry(AccessObservation &obs, bool &emit_duplicate);
+
+    /** Active per-observation corruption probability of a device. */
+    double corruptProbability(DeviceId device) const;
+
     /** Transient failures injected so far (outages not counted). */
     uint64_t injectedFailures() const { return injectedFailures_; }
+
+    /** Observations mangled or duplicated by CorruptTelemetry. */
+    uint64_t corruptedRecords() const { return corruptedRecords_; }
 
     const std::vector<FaultEvent> &schedule() const { return schedule_; }
 
@@ -182,9 +209,14 @@ class FaultInjector
     std::vector<TransitionHook> hooks_;
     Rng rng_;
     double now_ = 0.0;
-    std::vector<double> errorProb_; ///< per device, current state
+    std::vector<double> errorProb_;   ///< per device, current state
+    std::vector<double> corruptProb_; ///< per device, current state
+    std::vector<double> staleShift_;  ///< seconds into the past
+    std::vector<double> skewShift_;   ///< seconds into the future
     uint64_t injectedFailures_ = 0;
+    uint64_t corruptedRecords_ = 0;
     util::Counter *injectedFailuresMetric_; ///< registry mirror
+    util::Counter *corruptedRecordsMetric_; ///< registry mirror
 
     // Kill-point arming (process-local; never checkpointed).
     CrashPoint armedPoint_ = CrashPoint::None;

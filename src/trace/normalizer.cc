@@ -1,6 +1,8 @@
 #include "trace/normalizer.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -21,20 +23,29 @@ MinMaxNormalizer::update(const nn::Matrix &data)
     if (data.rows() == 0)
         panic("MinMaxNormalizer: empty data");
     if (mins_.empty()) {
-        mins_.assign(data.cols(), 0.0);
-        maxs_.assign(data.cols(), 0.0);
-        for (size_t c = 0; c < data.cols(); ++c) {
-            mins_[c] = data.at(0, c);
-            maxs_[c] = data.at(0, c);
-        }
+        // Seed with the fold identities so the first *finite* value of
+        // each column establishes its range; folding the finite values
+        // below then reproduces the plain min/max bit for bit. Seeding
+        // from row 0 unconditionally (the old behavior) let a single
+        // NaN poison the column range for the rest of the run: every
+        // later min/max fold against NaN is NaN.
+        mins_.assign(data.cols(),
+                     std::numeric_limits<double>::infinity());
+        maxs_.assign(data.cols(),
+                     -std::numeric_limits<double>::infinity());
     } else if (mins_.size() != data.cols()) {
         panic("MinMaxNormalizer: %zu columns, fitted with %zu", data.cols(),
               mins_.size());
     }
     for (size_t r = 0; r < data.rows(); ++r) {
         for (size_t c = 0; c < data.cols(); ++c) {
-            mins_[c] = std::min(mins_[c], data.at(r, c));
-            maxs_[c] = std::max(maxs_[c], data.at(r, c));
+            double v = data.at(r, c);
+            if (!std::isfinite(v)) {
+                ++rejectedNonFinite_;
+                continue;
+            }
+            mins_[c] = std::min(mins_[c], v);
+            maxs_[c] = std::max(maxs_[c], v);
         }
     }
 }

@@ -12,6 +12,7 @@
 #ifndef GEO_TRACE_NORMALIZER_HH
 #define GEO_TRACE_NORMALIZER_HH
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -25,11 +26,17 @@ namespace trace {
  *
  * Constant columns map to 0.5 (no information, centered), matching the
  * convention that a feature with zero variance contributes nothing.
+ *
+ * Non-finite inputs are rejected, not folded: a single NaN would
+ * otherwise poison the running min/max for the rest of the run (every
+ * later fold against NaN stays NaN). Rejected values are counted; a
+ * column that never sees a finite value keeps the (+inf, -inf) fold
+ * identities and normalizes like a constant column (0.5).
  */
 class MinMaxNormalizer
 {
   public:
-    /** Learn column ranges from `data`. */
+    /** Learn column ranges from `data` (finite values only). */
     void fit(const nn::Matrix &data);
 
     /** Widen ranges to also cover `data` (for incremental refit). */
@@ -52,6 +59,10 @@ class MinMaxNormalizer
     double columnMin(size_t col) const { return mins_.at(col); }
     double columnMax(size_t col) const { return maxs_.at(col); }
 
+    /** Non-finite inputs rejected by fit/update over this instance's
+     *  lifetime (copies inherit the count at copy time). */
+    uint64_t rejectedNonFinite() const { return rejectedNonFinite_; }
+
     /** Restore previously learned ranges (checkpoint restore). */
     void
     restore(std::vector<double> mins, std::vector<double> maxs)
@@ -63,6 +74,7 @@ class MinMaxNormalizer
   private:
     std::vector<double> mins_;
     std::vector<double> maxs_;
+    uint64_t rejectedNonFinite_ = 0;
 };
 
 } // namespace trace

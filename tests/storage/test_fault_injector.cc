@@ -8,8 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
+
 #include "storage/fault_injector.hh"
 #include "storage/system.hh"
+#include "util/state_io.hh"
 
 namespace geo {
 namespace storage {
@@ -300,6 +306,200 @@ TEST(FaultInjector, ErrorProbabilityReflectsActiveEpisode)
     EXPECT_DOUBLE_EQ(injector.errorProbability(0), 0.0);
     injector.advanceTo(25.0);
     EXPECT_DOUBLE_EQ(injector.errorProbability(1), 0.0);
+}
+
+AccessObservation
+observation(DeviceId device, double start = 100.0)
+{
+    AccessObservation obs;
+    obs.file = 1;
+    obs.device = device;
+    obs.readBytes = 1 << 20;
+    obs.startTime = start;
+    obs.endTime = start + 0.5;
+    obs.throughput = 2e6;
+    return obs;
+}
+
+TEST(FaultInjector, TelemetryUntouchedWithoutActiveEpisode)
+{
+    StorageSystem system = twoDeviceSystem();
+    FaultInjector injector(system, {});
+    AccessObservation obs = observation(0);
+    AccessObservation before = obs;
+    bool duplicate = true;
+    EXPECT_FALSE(injector.mutateTelemetry(obs, duplicate));
+    EXPECT_FALSE(duplicate);
+    EXPECT_DOUBLE_EQ(obs.startTime, before.startTime);
+    EXPECT_DOUBLE_EQ(obs.endTime, before.endTime);
+    EXPECT_DOUBLE_EQ(obs.throughput, before.throughput);
+    EXPECT_EQ(injector.corruptedRecords(), 0u);
+}
+
+TEST(FaultInjector, StaleTelemetryShiftsTimestampsIntoThePast)
+{
+    StorageSystem system = twoDeviceSystem();
+    FaultInjectorConfig config;
+    config.schedule.push_back(
+        event(0, FaultKind::StaleTelemetry, 0.0, 0.0, 300.0));
+    FaultInjector injector(system, config);
+    injector.advanceTo(100.0);
+    AccessObservation obs = observation(0);
+    bool duplicate = false;
+    EXPECT_TRUE(injector.mutateTelemetry(obs, duplicate));
+    EXPECT_DOUBLE_EQ(obs.startTime, 100.0 - 300.0);
+    EXPECT_DOUBLE_EQ(obs.endTime, 100.5 - 300.0);
+    // Duration and reward are untouched: only delivery was late.
+    EXPECT_DOUBLE_EQ(obs.duration(), 0.5);
+    EXPECT_DOUBLE_EQ(obs.throughput, 2e6);
+    // The other device's telemetry is untouched.
+    AccessObservation other = observation(1);
+    EXPECT_FALSE(injector.mutateTelemetry(other, duplicate));
+}
+
+TEST(FaultInjector, ClockSkewShiftsTimestampsIntoTheFuture)
+{
+    StorageSystem system = twoDeviceSystem();
+    FaultInjectorConfig config;
+    config.schedule.push_back(
+        event(1, FaultKind::ClockSkew, 50.0, 100.0, 7200.0));
+    FaultInjector injector(system, config);
+    injector.advanceTo(100.0);
+    AccessObservation obs = observation(1);
+    bool duplicate = false;
+    EXPECT_TRUE(injector.mutateTelemetry(obs, duplicate));
+    EXPECT_DOUBLE_EQ(obs.startTime, 100.0 + 7200.0);
+    EXPECT_DOUBLE_EQ(obs.endTime, 100.5 + 7200.0);
+    // Outside the episode window the shift is gone.
+    injector.advanceTo(200.0);
+    AccessObservation later = observation(1, 200.0);
+    EXPECT_FALSE(injector.mutateTelemetry(later, duplicate));
+    EXPECT_DOUBLE_EQ(later.startTime, 200.0);
+}
+
+TEST(FaultInjector, CorruptTelemetryIsSeededAndDeterministic)
+{
+    auto run = [](uint64_t seed) {
+        StorageSystem system = twoDeviceSystem();
+        FaultInjectorConfig config;
+        config.seed = seed;
+        config.schedule.push_back(
+            event(0, FaultKind::CorruptTelemetry, 0.0, 0.0, 0.5));
+        FaultInjector injector(system, config);
+        injector.advanceTo(100.0);
+        std::vector<double> throughputs;
+        for (int i = 0; i < 64; ++i) {
+            AccessObservation obs = observation(0);
+            bool duplicate = false;
+            injector.mutateTelemetry(obs, duplicate);
+            throughputs.push_back(duplicate ? -42.0 : obs.throughput);
+        }
+        return std::make_pair(throughputs, injector.corruptedRecords());
+    };
+    auto a = run(7);
+    auto b = run(7);
+    EXPECT_EQ(a.first.size(), b.first.size());
+    for (size_t i = 0; i < a.first.size(); ++i) {
+        if (std::isnan(a.first[i]))
+            EXPECT_TRUE(std::isnan(b.first[i])) << i;
+        else
+            EXPECT_DOUBLE_EQ(a.first[i], b.first[i]) << i;
+    }
+    EXPECT_EQ(a.second, b.second);
+    EXPECT_GT(a.second, 0u); // p = 0.5 over 64 draws corrupts some
+    EXPECT_LT(a.second, 64u);
+    EXPECT_NE(a.second, run(8).second); // and the seed matters
+}
+
+TEST(FaultInjector, CorruptTelemetryConsumesNoRandomnessWhenInactive)
+{
+    // Mutating telemetry outside any corrupt episode must leave the
+    // RNG untouched — the stream the transient-error draws see is
+    // byte-identical with and without the telemetry path.
+    StorageSystem system = twoDeviceSystem();
+    FaultInjectorConfig config;
+    config.schedule.push_back(
+        event(0, FaultKind::CorruptTelemetry, 1000.0, 10.0, 1.0));
+    config.schedule.push_back(
+        event(0, FaultKind::TransientErrors, 0.0, 0.0, 0.5));
+    FaultInjector injector(system, config);
+    injector.advanceTo(100.0); // corrupt episode not yet active
+    for (int i = 0; i < 16; ++i) {
+        AccessObservation obs = observation(0);
+        bool duplicate = false;
+        EXPECT_FALSE(injector.mutateTelemetry(obs, duplicate));
+    }
+    std::vector<bool> with_mutation;
+    for (int i = 0; i < 32; ++i)
+        with_mutation.push_back(injector.shouldFailAccess(0));
+
+    FaultInjector fresh(system, config);
+    fresh.advanceTo(100.0);
+    std::vector<bool> without_mutation;
+    for (int i = 0; i < 32; ++i)
+        without_mutation.push_back(fresh.shouldFailAccess(0));
+    EXPECT_EQ(with_mutation, without_mutation);
+}
+
+TEST(FaultInjector, TelemetryFaultStateRoundTrips)
+{
+    StorageSystem system = twoDeviceSystem();
+    FaultInjectorConfig config;
+    config.schedule.push_back(
+        event(0, FaultKind::CorruptTelemetry, 0.0, 0.0, 0.5));
+    config.schedule.push_back(
+        event(0, FaultKind::StaleTelemetry, 0.0, 0.0, 60.0));
+
+    FaultInjector a(system, config);
+    a.advanceTo(100.0);
+    bool duplicate = false;
+    for (int i = 0; i < 16; ++i) {
+        AccessObservation obs = observation(0);
+        a.mutateTelemetry(obs, duplicate);
+    }
+    std::ostringstream os;
+    util::StateWriter w(os);
+    a.saveState(w);
+
+    StorageSystem system_b = twoDeviceSystem();
+    FaultInjector b(system_b, config);
+    std::istringstream is(os.str());
+    util::StateReader r(is);
+    b.loadState(r);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(b.corruptedRecords(), a.corruptedRecords());
+    EXPECT_DOUBLE_EQ(b.corruptProbability(0), 0.5);
+
+    // The restored stream continues exactly where the original one is.
+    for (int i = 0; i < 32; ++i) {
+        AccessObservation oa = observation(0);
+        AccessObservation ob = observation(0);
+        bool da = false, db = false;
+        a.mutateTelemetry(oa, da);
+        b.mutateTelemetry(ob, db);
+        EXPECT_EQ(da, db) << i;
+        if (std::isnan(oa.throughput))
+            EXPECT_TRUE(std::isnan(ob.throughput)) << i;
+        else
+            EXPECT_DOUBLE_EQ(oa.throughput, ob.throughput) << i;
+        EXPECT_DOUBLE_EQ(oa.endTime, ob.endTime) << i;
+        EXPECT_EQ(oa.readBytes, ob.readBytes) << i;
+    }
+}
+
+TEST(FaultInjectorDeathTest, RejectsBadTelemetryEvents)
+{
+    StorageSystem system = twoDeviceSystem();
+    FaultInjector injector(system, {});
+    EXPECT_DEATH(injector.addEvent(
+                     event(0, FaultKind::CorruptTelemetry, 0, 0, 1.5)),
+                 "corruption probability");
+    EXPECT_DEATH(injector.addEvent(
+                     event(0, FaultKind::StaleTelemetry, 0, 0, 0.0)),
+                 "must be positive");
+    EXPECT_DEATH(injector.addEvent(
+                     event(0, FaultKind::ClockSkew, 0, 0, -5.0)),
+                 "must be positive");
 }
 
 TEST(FaultInjectorDeathTest, RejectsBadEvents)

@@ -209,4 +209,56 @@ print(f"bench_smoke: {len(snapshots)} checkpoint file(s) OK "
 EOF
 fi
 
+soak="${build_dir}/bench/fig9_chaos_soak"
+if [[ -x "${soak}" ]]; then
+    soak_dir="$(mktemp -d /tmp/geo_fig9_smoke.XXXXXX)"
+    trap 'rm -f "${out}"; rm -rf "${soak_dir}"' EXIT
+
+    echo "== running fig9 chaos soak (quick, 50 cycles) =="
+    # The harness exits nonzero on any invariant violation, digest
+    # divergence, or if the storm fails to trip safe mode; the metrics
+    # snapshot is additionally schema-validated below.
+    (cd "${soak_dir}" && \
+        GEO_FIG9_CYCLES=50 GEO_METRICS_OUT="${soak_dir}/fig9.json" \
+        "${soak}")
+
+    echo "== validating ${soak_dir}/fig9.json =="
+    python3 - "${soak_dir}/fig9.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+def fail(message):
+    print(f"bench_smoke: {message}", file=sys.stderr)
+    sys.exit(1)
+
+if doc.get("schema") != "geo-metrics-1":
+    fail(f"unexpected metrics schema {doc.get('schema')!r}")
+gauges = doc.get("gauges")
+if not isinstance(gauges, dict):
+    fail("metrics snapshot missing gauges object")
+
+if gauges.get("fig9.cycles", 0) < 50:
+    fail(f"soak ran {gauges.get('fig9.cycles')} cycles, wanted >= 50")
+for scenario in ("reference", "same-seed-twin", "crash-after-train",
+                 "crash-in-safe-mode"):
+    if gauges.get(f"fig9.{scenario}.identical", 0) != 1:
+        fail(f"scenario {scenario} diverged from the reference digests")
+if gauges.get("fig9.reference.safe_entries", 0) < 1:
+    fail("the telemetry storm never tripped safe mode")
+if gauges.get("fig9.reference.quarantined", 0) <= 0:
+    fail("the chaos schedule quarantined no telemetry")
+
+print("bench_smoke: fig9 chaos soak OK "
+      f"({gauges['fig9.cycles']:.0f} cycles, "
+      f"{gauges['fig9.reference.safe_entries']:.0f} safe-mode entries, "
+      f"{gauges['fig9.reference.quarantined']:.0f} records quarantined, "
+      "all digests identical)")
+EOF
+else
+    echo "bench_smoke.sh: ${soak} not built, skipping chaos gate" >&2
+fi
+
 echo "== bench_smoke.sh: OK =="

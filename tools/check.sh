@@ -67,6 +67,27 @@ rm -rf "${drill}"
 
 echo "== check.sh: crash drill resumed byte-identical =="
 
+# ThreadSanitizer phase: a dedicated build tree with TSan, running the
+# concurrency-sensitive subset of the suite (thread pool, watchdog
+# cancellation visibility, metric registry, logging, tracing, parallel
+# GEMM/scoring and the guardrail integration tests). TSan cannot be
+# combined with ASan, hence the separate tree and targeted -R filter.
+tsan_dir="${repo_root}/build-tsan"
+echo "== configuring ThreadSanitizer build in ${tsan_dir} =="
+cmake -S "${repo_root}" -B "${tsan_dir}" \
+    -DGEO_SANITIZE="thread" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== building TSan (${jobs} jobs) =="
+cmake --build "${tsan_dir}" -j "${jobs}"
+
+echo "== running the concurrency subset under TSan =="
+export TSAN_OPTIONS="halt_on_error=1"
+ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
+    -R 'ThreadPool|Watchdog|CancelToken|Metric|Trace|Logging|Parallel|Concurrent|Batched|Guardrails'
+
+echo "== check.sh: concurrency subset clean under thread sanitizer =="
+
 notrace_dir="${repo_root}/build-notrace"
 echo "== configuring GEO_TRACE=OFF build in ${notrace_dir} =="
 cmake -S "${repo_root}" -B "${notrace_dir}" \

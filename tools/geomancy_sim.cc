@@ -9,7 +9,8 @@
  * Usage:
  *   geomancy_sim [--policy NAME] [--runs N] [--warmup N] [--cadence N]
  *                [--seed N] [--epochs N] [--csv FILE] [--series FILE]
- *                [--scheduler] [--faults] [--metrics-json FILE]
+ *                [--scheduler] [--faults] [--chaos]
+ *                [--force-safe-mode T] [--metrics-json FILE]
  *                [--metrics-prom FILE] [--trace-out FILE] [--quiet]
  *                [--checkpoint-dir DIR] [--checkpoint-every N]
  *                [--crash-at POINT] [--crash-cycle N] [--resume]
@@ -18,6 +19,13 @@
  * --faults degrades the "var" mount from t=0 (fig7-style rebuild:
  * bandwidth loss + transient I/O errors), so evacuation migrations
  * abort and the retry/backoff machinery becomes observable.
+ *
+ * --chaos schedules a seeded random mix of every fault class (errors,
+ * degradation, outages, corrupt/stale/skewed telemetry) across the
+ * run; --force-safe-mode T floods the telemetry with corruption from
+ * sim time T onward, tripping the guardrails into safe mode a couple
+ * of cycles later. Both schedules are pure functions of the seed and
+ * flags, so crash/resume runs rebuild them identically.
  *
  * --checkpoint-dir enables crash-safe snapshots (and a file-backed
  * ReplayDB in the same directory); --crash-at kills the process at a
@@ -72,6 +80,8 @@ struct Options
     std::string tracePath;  ///< Chrome trace JSON (Perfetto-viewable)
     bool scheduler = false;
     bool faults = false;    ///< degrade the "var" mount mid-run
+    bool chaos = false;     ///< seeded random schedule of all faults
+    double forceSafeMode = -1.0; ///< >=0: telemetry flood from this t
     bool quiet = false;
     std::string checkpointDir;   ///< empty = checkpointing disabled
     size_t checkpointEvery = 1;  ///< snapshot every N measured runs
@@ -97,6 +107,12 @@ usage()
         "  --scheduler     enable the movement scheduler (gap + cooldown)\n"
         "  --faults        degrade the 'var' mount (bandwidth +\n"
         "                  transient errors) to exercise retries\n"
+        "  --chaos         seeded random schedule composing every\n"
+        "                  fault class (I/O errors, degradation,\n"
+        "                  outages, corrupt/stale/skewed telemetry)\n"
+        "  --force-safe-mode T   flood the telemetry with corruption\n"
+        "                  from sim time T on; the guardrails trip\n"
+        "                  into safe mode a couple of cycles later\n"
         "  --csv FILE      append a one-line summary as CSV\n"
         "  --series FILE   write the bucketed throughput series as CSV\n"
         "  --metrics-json FILE   write the metric registry as JSON\n"
@@ -167,6 +183,11 @@ parse(int argc, char **argv, Options &options)
             options.scheduler = true;
         else if (arg == "--faults")
             options.faults = true;
+        else if (arg == "--chaos")
+            options.chaos = true;
+        else if (arg == "--force-safe-mode")
+            options.forceSafeMode =
+                std::stod(next("--force-safe-mode"));
         else if (arg == "--quiet")
             options.quiet = true;
         else if (arg == "--help" || arg == "-h") {
@@ -230,7 +251,8 @@ runOnce(const Options &options, int attempt, bool resume)
     // Checkpointing always constructs the injector (harmless with an
     // empty schedule) so the snapshot layout does not depend on which
     // of --faults/--crash-at/--resume this particular invocation got.
-    if (options.faults || checkpointing ||
+    if (options.faults || options.chaos ||
+        options.forceSafeMode >= 0.0 || checkpointing ||
         options.crashAt != storage::CrashPoint::None) {
         storage::FaultInjectorConfig fconfig;
         fconfig.seed = options.seed * 1000003 + 13;
@@ -262,6 +284,68 @@ runOnce(const Options &options, int attempt, bool resume)
         // the retry/backoff path observable, not marginal.
         errors.magnitude = 0.6;
         injector->addEvent(errors);
+    }
+    if (options.chaos) {
+        // A static, seed-derived schedule (identical on every resume,
+        // which keeps checkpoint restores valid): mixed-kind episodes
+        // spread along the sim-time axis. Episodes scheduled past the
+        // end of a short run simply never activate.
+        Rng chaos(options.seed * 0x9E3779B9ULL + 0x51ED);
+        double at = 5.0;
+        size_t devices = system->deviceCount();
+        for (int i = 0; i < 48; ++i) {
+            storage::FaultEvent e;
+            e.device = static_cast<storage::DeviceId>(
+                chaos.uniformInt(0, static_cast<int64_t>(devices) - 1));
+            e.start = at;
+            e.duration = chaos.uniform(5.0, 60.0);
+            switch (chaos.uniformInt(0, 5)) {
+              case 0:
+                e.kind = storage::FaultKind::TransientErrors;
+                e.magnitude = chaos.uniform(0.05, 0.35);
+                break;
+              case 1:
+                e.kind = storage::FaultKind::Degradation;
+                e.magnitude = chaos.uniform(0.3, 0.9);
+                break;
+              case 2:
+                e.kind = storage::FaultKind::Outage;
+                e.duration = chaos.uniform(2.0, 15.0);
+                break;
+              case 3:
+                e.kind = storage::FaultKind::CorruptTelemetry;
+                e.magnitude = chaos.uniform(0.2, 0.9);
+                break;
+              case 4:
+                // Beyond the default staleness window (one day), so
+                // the Stale quarantine reason actually fires.
+                e.kind = storage::FaultKind::StaleTelemetry;
+                e.magnitude = chaos.uniform(90000.0, 250000.0);
+                break;
+              default:
+                // Beyond the default future-skew slack (one hour).
+                e.kind = storage::FaultKind::ClockSkew;
+                e.magnitude = chaos.uniform(4000.0, 20000.0);
+                break;
+            }
+            injector->addEvent(e);
+            at += chaos.uniform(10.0, 80.0);
+        }
+    }
+    if (options.forceSafeMode >= 0.0) {
+        // Permanent corruption of nearly all telemetry on every mount:
+        // consecutive quarantine floods trip safe mode within a couple
+        // of decision cycles of `forceSafeMode`. Static schedule, so
+        // crash/resume runs rebuild it identically.
+        for (storage::DeviceId d = 0; d < system->deviceCount(); ++d) {
+            storage::FaultEvent flood;
+            flood.device = d;
+            flood.kind = storage::FaultKind::CorruptTelemetry;
+            flood.start = options.forceSafeMode;
+            flood.duration = 0.0; // never lifts
+            flood.magnitude = 0.97;
+            injector->addEvent(flood);
+        }
     }
     // The kill point arms only on the first, non-resuming attempt; a
     // restarted child runs disarmed so the supervised run terminates.
