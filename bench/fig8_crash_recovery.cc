@@ -43,6 +43,7 @@
 #include "experiment_common.hh"
 #include "storage/bluesky.hh"
 #include "storage/fault_injector.hh"
+#include "util/flight_recorder.hh"
 #include "util/fs_atomic.hh"
 #include "util/logging.hh"
 #include "util/state_io.hh"
@@ -77,16 +78,20 @@ int
 runScenario(const Scenario &sc, int attempt, bool resume)
 {
     util::MetricRegistry::global().reset();
+    util::FlightRecorder::global().clear();
+    util::FlightRecorder::global().setDumpDir(sc.dir);
     std::error_code ec;
     std::filesystem::create_directories(sc.dir, ec);
     core::CheckpointManagerConfig mconfig;
     mconfig.dir = sc.dir;
     core::CheckpointManager manager(mconfig);
     std::string db_path = sc.dir + "/replay.db";
+    std::string ledger_path = sc.dir + "/ledger.ndjson";
     if (!resume) {
         manager.clear();
         for (const char *suffix : {"", "-journal", "-wal", "-shm"})
             std::filesystem::remove(db_path + suffix, ec);
+        std::filesystem::remove(ledger_path, ec);
     }
 
     auto system = storage::makeBlueskySystem(sc.seed);
@@ -100,6 +105,7 @@ runScenario(const Scenario &sc, int attempt, bool resume)
     core::GeomancyConfig gconfig;
     gconfig.drl.epochs = sc.epochs;
     core::Geomancy geomancy(*system, workload.files(), gconfig, db_path);
+    geomancy.attachLedger(ledger_path);
     core::GeomancyDynamicPolicy policy(geomancy);
 
     core::ExperimentConfig config;
@@ -205,6 +211,20 @@ statValue(const std::string &stats, const std::string &key)
     return 0.0;
 }
 
+/** Did the kill point leave a flight-recorder dump in `dir`? */
+bool
+hasFlightDump(const std::string &dir)
+{
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("flight-killpoint-", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
 } // namespace
 
 int
@@ -233,12 +253,16 @@ main()
     if (sup.exitCode != 0)
         fatal("fig8: reference run failed (exit %d)", sup.exitCode);
     std::string ref_series = slurp(ref.seriesPath);
+    std::string ref_ledger = slurp(ref.dir + "/ledger.ndjson");
+    if (ref_ledger.empty())
+        fatal("fig8: reference run wrote no decision ledger");
 
     struct Row
     {
         std::string name;
         int restarts = 0;
         bool identical = false;
+        bool flightDump = false;
         double restoreMs = 0.0;
         double runsSaved = 0.0;
         double cyclesSaved = 0.0;
@@ -270,7 +294,9 @@ main()
         row.restarts = result.restarts;
         std::string stats = slurp(sc.statsPath);
         row.identical = result.exitCode == 0 && !ref_series.empty() &&
-                        slurp(sc.seriesPath) == ref_series;
+                        slurp(sc.seriesPath) == ref_series &&
+                        slurp(sc.dir + "/ledger.ndjson") == ref_ledger;
+        row.flightDump = hasFlightDump(sc.dir);
         row.restoreMs = statValue(stats, "restore_ms");
         row.runsSaved = statValue(stats, "runs_saved");
         row.cyclesSaved = statValue(stats, "cycles_saved");
@@ -313,8 +339,11 @@ main()
                 {0});
             std::string stats = slurp(sc.statsPath);
             corrupt_row.restarts = 0;
-            corrupt_row.identical = result.exitCode == 0 &&
-                                    slurp(sc.seriesPath) == ref_series;
+            corrupt_row.identical =
+                result.exitCode == 0 &&
+                slurp(sc.seriesPath) == ref_series &&
+                slurp(sc.dir + "/ledger.ndjson") == ref_ledger;
+            corrupt_row.flightDump = hasFlightDump(sc.dir);
             corrupt_row.restoreMs = statValue(stats, "restore_ms");
             corrupt_row.runsSaved = statValue(stats, "runs_saved");
             corrupt_row.cyclesSaved = statValue(stats, "cycles_saved");
@@ -328,12 +357,16 @@ main()
 
     TextTable table("Fig. 8: crash + supervised restart vs uninterrupted");
     table.setHeader({"kill point", "restarts", "byte-identical",
-                     "restore ms", "runs saved", "cycles saved"});
+                     "flight dump", "restore ms", "runs saved",
+                     "cycles saved"});
     bool all_identical = true;
+    bool all_dumped = true;
     for (const Row &row : rows) {
         all_identical = all_identical && row.identical;
+        all_dumped = all_dumped && row.flightDump;
         table.addRow({row.name, std::to_string(row.restarts),
                       row.identical ? "yes" : "NO",
+                      row.flightDump ? "yes" : "NO",
                       TextTable::num(row.restoreMs, 2),
                       TextTable::num(row.runsSaved, 0),
                       TextTable::num(row.cyclesSaved, 0)});
@@ -341,8 +374,11 @@ main()
     table.print(std::cout);
     std::cout << (all_identical
                       ? "\nAll resumed runs reproduce the uninterrupted "
-                        "series bit-for-bit.\n"
+                        "series and decision ledger bit-for-bit.\n"
                       : "\nDIVERGENCE: at least one resumed run differs "
-                        "from the uninterrupted series.\n");
-    return all_identical ? 0 : 1;
+                        "from the uninterrupted series or ledger.\n");
+    if (!all_dumped)
+        std::cout << "MISSING: a kill point left no flight-recorder "
+                     "dump.\n";
+    return all_identical && all_dumped ? 0 : 1;
 }

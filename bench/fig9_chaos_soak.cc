@@ -51,6 +51,7 @@
 #include "storage/bluesky.hh"
 #include "storage/fault_injector.hh"
 #include "util/crc32.hh"
+#include "util/flight_recorder.hh"
 #include "util/fs_atomic.hh"
 #include "util/logging.hh"
 #include "util/state_io.hh"
@@ -294,17 +295,21 @@ int
 runScenario(const Scenario &sc, int attempt, bool resume)
 {
     util::MetricRegistry::global().reset();
+    util::FlightRecorder::global().clear();
+    util::FlightRecorder::global().setDumpDir(sc.dir);
     std::error_code ec;
     std::filesystem::create_directories(sc.dir, ec);
     core::CheckpointManagerConfig mconfig;
     mconfig.dir = sc.dir;
     core::CheckpointManager manager(mconfig);
     std::string db_path = sc.dir + "/replay.db";
+    std::string ledger_path = sc.dir + "/ledger.ndjson";
     if (!resume) {
         manager.clear();
         for (const char *suffix : {"", "-journal", "-wal", "-shm"})
             std::filesystem::remove(db_path + suffix, ec);
         std::filesystem::remove(sc.digestPath, ec);
+        std::filesystem::remove(ledger_path, ec);
     }
 
     // Foreground migrations: moves advance the simulated clock, so the
@@ -332,6 +337,7 @@ runScenario(const Scenario &sc, int attempt, bool resume)
     gconfig.guardrails.maxFutureSkewSeconds = 120.0;
     gconfig.guardrails.migrateBudgetSeconds = 0.5;
     core::Geomancy geomancy(system, workload.files(), gconfig, db_path);
+    geomancy.attachLedger(ledger_path);
 
     uint64_t cycles_done = 0;
     double span = 0.0;
@@ -432,6 +438,22 @@ runScenario(const Scenario &sc, int attempt, bool resume)
           << "safe_exits " << guardrails.safeModeExits() << "\n"
           << "overruns " << guardrails.watchdog().overruns() << "\n"
           << "moves " << system.migrationCount() << "\n";
+    // Per-mount prediction-error accumulators, in the exact shape
+    // `geomancy_explain --prediction-error --per-mount` recomputes
+    // from the ledger file (tools/bench_smoke.sh cross-checks them).
+    for (const auto &[device, stat] : geomancy.ledger()->mountErrors()) {
+        char line[160];
+        double n = stat.samples ? static_cast<double>(stat.samples) : 1.0;
+        std::snprintf(line, sizeof line,
+                      "err.dev%llu.samples %llu\n"
+                      "err.dev%llu.mae %.12g\n"
+                      "err.dev%llu.signed %.12g\n",
+                      (unsigned long long)device,
+                      (unsigned long long)stat.samples,
+                      (unsigned long long)device, stat.sumAbs / n,
+                      (unsigned long long)device, stat.sumSigned / n);
+        stats << line;
+    }
     if (!util::writeFileAtomic(sc.statsPath, stats.str()))
         return 1;
     return 0;
@@ -515,12 +537,16 @@ main()
     if (ref_digests.size() != base.cycles)
         fatal("fig9: reference logged %zu of %llu cycles",
               ref_digests.size(), (unsigned long long)base.cycles);
+    std::string ref_ledger = slurp(ref.dir + "/ledger.ndjson");
+    if (ref_ledger.empty())
+        fatal("fig9: reference run wrote no decision ledger");
 
     struct Row
     {
         std::string name;
         int restarts = 0;
         bool identical = false;
+        bool flightDump = true; ///< only required of crash scenarios
         double safeEntries = 0.0;
         double safeExits = 0.0;
         double quarantined = 0.0;
@@ -529,12 +555,25 @@ main()
     std::vector<Row> rows;
     auto &registry = util::MetricRegistry::global();
 
+    auto hasFlightDump = [](const std::string &dir) {
+        std::error_code ec;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir, ec))
+            if (entry.path().filename().string().rfind(
+                    "flight-killpoint-", 0) == 0)
+                return true;
+        return false;
+    };
     auto finishRow = [&](const Scenario &sc, const std::string &name,
                          int restarts) {
         Row row;
         row.name = name;
         row.restarts = restarts;
-        row.identical = parseDigests(slurp(sc.digestPath)) == ref_digests;
+        row.identical =
+            parseDigests(slurp(sc.digestPath)) == ref_digests &&
+            slurp(sc.dir + "/ledger.ndjson") == ref_ledger;
+        if (sc.crash != storage::CrashPoint::None)
+            row.flightDump = hasFlightDump(sc.dir);
         std::string stats = slurp(sc.statsPath);
         row.safeEntries = statValue(stats, "safe_entries");
         row.safeExits = statValue(stats, "safe_exits");
@@ -599,13 +638,16 @@ main()
     TextTable table("Fig. 9: chaos soak (" +
                     std::to_string(base.cycles) + " cycles)");
     table.setHeader({"scenario", "restarts", "digests identical",
-                     "safe entries", "safe exits", "quarantined",
-                     "overruns"});
+                     "flight dump", "safe entries", "safe exits",
+                     "quarantined", "overruns"});
     bool all_identical = true;
+    bool all_dumped = true;
     for (const Row &row : rows) {
         all_identical = all_identical && row.identical;
+        all_dumped = all_dumped && row.flightDump;
         table.addRow({row.name, std::to_string(row.restarts),
                       row.identical ? "yes" : "NO",
+                      row.flightDump ? "yes" : "NO",
                       TextTable::num(row.safeEntries, 0),
                       TextTable::num(row.safeExits, 0),
                       TextTable::num(row.quarantined, 0),
@@ -620,8 +662,14 @@ main()
              "(soak too short?)");
     std::cout << (all_identical
                       ? "\nAll runs (twin and crash/restart) reproduce "
-                        "the reference digests bit-for-bit.\n"
+                        "the reference digests and decision ledger "
+                        "bit-for-bit.\n"
                       : "\nDIVERGENCE: at least one run differs from "
-                        "the reference digests.\n");
-    return all_identical && reference.safeEntries >= 1.0 ? 0 : 1;
+                        "the reference digests or ledger.\n");
+    if (!all_dumped)
+        std::cout << "MISSING: a crash scenario left no flight-recorder "
+                     "dump.\n";
+    return all_identical && all_dumped && reference.safeEntries >= 1.0
+               ? 0
+               : 1;
 }

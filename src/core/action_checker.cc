@@ -8,6 +8,26 @@
 namespace geo {
 namespace core {
 
+const char *
+moveVetoName(MoveVeto veto)
+{
+    switch (veto) {
+      case MoveVeto::None:
+        return "selected";
+      case MoveVeto::Unreachable:
+        return "unreachable";
+      case MoveVeto::StayPut:
+        return "stay_put";
+      case MoveVeto::BelowMinGain:
+        return "below_min_gain";
+      case MoveVeto::NoValidTarget:
+        return "no_valid_target";
+      case MoveVeto::RandomFallback:
+        return "random_fallback";
+    }
+    return "unknown";
+}
+
 ActionChecker::ActionChecker(storage::StorageSystem &system,
                              const CheckerConfig &config)
     : system_(system), config_(config)
@@ -58,15 +78,23 @@ ActionChecker::validDevices(
 std::optional<CheckedMove>
 ActionChecker::selectMove(storage::FileId file,
                           const std::vector<CandidateScore> &scores,
-                          Rng &rng, bool lower_is_better) const
+                          Rng &rng, bool lower_is_better,
+                          MoveVeto *veto) const
 {
+    auto verdict = [veto](MoveVeto v) {
+        if (veto)
+            *veto = v;
+    };
+    verdict(MoveVeto::None);
     // Orient comparisons so "better" is always larger.
     auto better = [lower_is_better](double a, double b) {
         return lower_is_better ? a < b : a > b;
     };
     storage::DeviceId current = system_.location(file);
-    if (!system_.device(current).available())
+    if (!system_.device(current).available()) {
+        verdict(MoveVeto::Unreachable);
         return std::nullopt; // data unreachable: nothing to execute
+    }
 
     std::vector<storage::DeviceId> candidates;
     candidates.reserve(scores.size());
@@ -78,7 +106,10 @@ ActionChecker::selectMove(storage::FileId file,
         // All storage devices invalid: perform a random movement so
         // Geomancy keeps learning the movement/performance relation.
         randomFallbackMetric_->inc();
-        return randomMove(file, rng);
+        std::optional<CheckedMove> fallback = randomMove(file, rng);
+        verdict(fallback ? MoveVeto::RandomFallback
+                         : MoveVeto::NoValidTarget);
+        return fallback;
     }
 
     double stay_predicted = 0.0;
@@ -97,10 +128,15 @@ ActionChecker::selectMove(storage::FileId file,
     }
     if (!best) {
         randomFallbackMetric_->inc();
-        return randomMove(file, rng);
+        std::optional<CheckedMove> fallback = randomMove(file, rng);
+        verdict(fallback ? MoveVeto::RandomFallback
+                         : MoveVeto::NoValidTarget);
+        return fallback;
     }
-    if (best->device == current)
+    if (best->device == current) {
+        verdict(MoveVeto::StayPut);
         return std::nullopt; // staying put predicted best
+    }
 
     CheckedMove move;
     move.file = file;
@@ -116,6 +152,7 @@ ActionChecker::selectMove(storage::FileId file,
                       stay_predicted;
         if (move.predictedGain < config_.minRelativeGain) {
             belowMinGainMetric_->inc();
+            verdict(MoveVeto::BelowMinGain);
             return std::nullopt; // not worth the transfer cost
         }
     } else {

@@ -46,6 +46,19 @@ struct CheckerConfig
     double minHealthFactor = 0.5;
 };
 
+/** Why selectMove() declined (or degraded) a candidate file. */
+enum class MoveVeto {
+    None,           ///< a move was selected
+    Unreachable,    ///< current device offline: nothing to execute
+    StayPut,        ///< the current location predicted best
+    BelowMinGain,   ///< predicted gain under minRelativeGain
+    NoValidTarget,  ///< random fallback found no valid device either
+    RandomFallback, ///< all candidates invalid: random move taken
+};
+
+/** Stable lowercase name ("stay_put", ... — the ledger verdict). */
+const char *moveVetoName(MoveVeto veto);
+
 /** A checked, ready-to-apply movement decision. */
 struct CheckedMove
 {
@@ -83,12 +96,16 @@ class ActionChecker
      * @param rng used for the all-invalid random fallback.
      * @param lower_is_better true for latency models (smaller
      *        predicted target wins).
+     * @param veto when non-null, receives why the file was declined
+     *        (or RandomFallback/None when a move came back) — the
+     *        decision ledger's audit trail.
      * @return a move if one beats staying put by minRelativeGain, the
      *         random fallback when nothing is valid, or nullopt.
      */
     std::optional<CheckedMove> selectMove(
         storage::FileId file, const std::vector<CandidateScore> &scores,
-        Rng &rng, bool lower_is_better = false) const;
+        Rng &rng, bool lower_is_better = false,
+        MoveVeto *veto = nullptr) const;
 
     /**
      * Order proposed moves by predicted gain and truncate to

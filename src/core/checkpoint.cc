@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/crc32.hh"
+#include "util/flight_recorder.hh"
 #include "util/fs_atomic.hh"
 #include "util/logging.hh"
 
@@ -76,6 +77,8 @@ CheckpointManager::write(uint64_t cycle, const std::string &payload)
     }
     writesMetric_->inc();
     bytesMetric_->set(static_cast<double>(blob.size()));
+    util::FlightRecorder::global().record(
+        util::FlightKind::CheckpointWrite, 0.0, cycle, blob.size());
 
     // Prune beyond the retention window; the just-written snapshot is
     // the newest, so everything past `keep` from the end goes.

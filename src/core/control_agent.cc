@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/trace_event.hh"
 
@@ -259,9 +260,13 @@ ControlAgent::abandonPending()
         ++totalAbandoned_;
     }
     pending_.clear();
-    if (count > 0)
+    if (count > 0) {
+        util::FlightRecorder::global().record(
+            util::FlightKind::MovesAbandoned, system_.clock().now(),
+            count);
         warn("control: abandoned %zu pending retr%s (safe mode)", count,
              count == 1 ? "y" : "ies");
+    }
     return count;
 }
 

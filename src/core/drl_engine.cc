@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "nn/serialize.hh"
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/trace_event.hh"
@@ -64,6 +65,8 @@ DrlEngine::retrain(const TrainingBatch &batch)
         // the next healthy cycle retrain from the last good weights.
         stats.cancelled = true;
         trainCancelledMetric_->inc();
+        util::FlightRecorder::global().record(
+            util::FlightKind::TrainCancelled, 0.0, config_.epochs);
         ready_ = false;
         if (!lastGoodWeights_.empty()) {
             std::istringstream is(lastGoodWeights_);
@@ -88,6 +91,8 @@ DrlEngine::retrain(const TrainingBatch &batch)
     if (stats.diverged) {
         divergedMetric_->inc();
         trainDivergedMetric_->inc();
+        util::FlightRecorder::global().record(
+            util::FlightKind::TrainDiverged, 0.0, config_.epochs);
         ready_ = false;
         if (!lastGoodWeights_.empty()) {
             // Roll back to the last finite weights so the poison does

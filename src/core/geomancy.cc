@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.hh"
 #include "storage/fault_injector.hh"
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/trace_event.hh"
 
@@ -70,6 +71,20 @@ Geomancy::Geomancy(storage::StorageSystem &system,
     cyclesSkippedMetric_ = &registry.counter("geomancy.cycles_skipped");
     movesProposedMetric_ = &registry.counter("geomancy.moves_proposed");
     sanityVetoMetric_ = &registry.counter("geomancy.sanity_vetoes");
+    registry.setHelp("geomancy.cycles",
+                     "Decision cycles completed by the pipeline");
+    registry.setHelp("geomancy.cycles_explored",
+                     "Cycles that took a random exploration move "
+                     "instead of the model's choice");
+    registry.setHelp("geomancy.cycles_skipped",
+                     "Cycles that proposed no move (history too thin "
+                     "or every candidate vetoed)");
+    registry.setHelp("geomancy.moves_proposed",
+                     "Candidate migrations that passed the Action "
+                     "Checker and were handed to the control agent");
+    registry.setHelp("geomancy.sanity_vetoes",
+                     "Moves vetoed because the destination mount "
+                     "measured slower than the source right now");
 }
 
 void
@@ -77,6 +92,51 @@ Geomancy::flushAgents()
 {
     for (auto &agent : agents_)
         agent->flush();
+}
+
+void
+Geomancy::attachLedger(const std::string &path)
+{
+    ledger_ = std::make_unique<DecisionLedger>(path);
+}
+
+double
+Geomancy::phaseBudget(const char *phase) const
+{
+    const GuardrailsConfig &cfg = config_.guardrails;
+    if (!cfg.enabled)
+        return 0.0;
+    if (std::string(phase) == "monitor")
+        return cfg.monitorBudgetSeconds;
+    if (std::string(phase) == "train")
+        return cfg.trainBudgetSeconds;
+    if (std::string(phase) == "propose")
+        return cfg.proposeBudgetSeconds;
+    if (std::string(phase) == "migrate")
+        return cfg.migrateBudgetSeconds;
+    return 0.0;
+}
+
+void
+Geomancy::enterPhase(const char *phase, int index)
+{
+    double now = system_.clock().now();
+    guardrails_->beginPhase(phase, now);
+    util::FlightRecorder::global().record(
+        util::FlightKind::PhaseBegin, now, cycles_,
+        static_cast<uint64_t>(index));
+}
+
+void
+Geomancy::leavePhase(const char *phase, int index, double began)
+{
+    double now = system_.clock().now();
+    guardrails_->endPhase(now);
+    util::FlightRecorder::global().record(
+        util::FlightKind::PhaseEnd, now, cycles_,
+        static_cast<uint64_t>(index));
+    if (ledger_)
+        ledger_->recordPhase(phase, now - began, phaseBudget(phase));
 }
 
 std::vector<CheckedMove>
@@ -109,14 +169,33 @@ Geomancy::proposeMoves()
     if (!latests.empty())
         all_scores = engine_->scoreLocations(latests, devices);
 
+    const bool lower_better = engine_->lowerIsBetter();
+    // Ledger: per-device mean of every candidate prediction this
+    // cycle, pinned to the accesses watermark so the realized window
+    // starts exactly where the prediction was made.
+    std::map<storage::DeviceId, std::pair<double, uint64_t>> predicted;
+    if (ledger_) {
+        for (const auto &scores : all_scores) {
+            for (const CandidateScore &s : scores) {
+                auto &acc = predicted[s.device];
+                acc.first += s.predictedThroughput;
+                ++acc.second;
+            }
+        }
+        for (auto &[device, acc] : predicted)
+            if (acc.second > 0)
+                acc.first /= static_cast<double>(acc.second);
+    }
+
     std::vector<CheckedMove> moves;
     for (size_t i = 0; i < scorable.size(); ++i) {
         storage::FileId file = scorable[i];
+        MoveVeto veto = MoveVeto::None;
         std::optional<CheckedMove> move = checker_->selectMove(
-            file, all_scores[i], rng_, engine_->lowerIsBetter());
-        if (!move)
-            continue;
-        if (!move->random && config_.sanityWindow > 0) {
+            file, all_scores[i], rng_, lower_better, &veto);
+        const char *verdict = moveVetoName(veto);
+        bool kept = move.has_value();
+        if (move && !move->random && config_.sanityWindow > 0) {
             auto from_it = measured.find(move->from);
             auto to_it = measured.find(move->to);
             // Veto moves toward a device that is measurably slower
@@ -125,10 +204,35 @@ Geomancy::proposeMoves()
             if (from_it != measured.end() && to_it != measured.end() &&
                 to_it->second < from_it->second) {
                 sanityVetoMetric_->inc();
-                continue;
+                verdict = "sanity";
+                kept = false;
             }
         }
-        moves.push_back(*move);
+        if (ledger_) {
+            // Orientation-aware ranks over this file's scores.
+            std::vector<LedgerScore> ranked;
+            ranked.reserve(all_scores[i].size());
+            for (const CandidateScore &s : all_scores[i])
+                ranked.push_back({s.device, s.predictedThroughput, 1});
+            for (LedgerScore &a : ranked)
+                for (const LedgerScore &b : ranked)
+                    if (lower_better ? b.predicted < a.predicted
+                                     : b.predicted > a.predicted)
+                        ++a.rank;
+            ledger_->recordCandidate(
+                file, system_.location(file), latests[i].features(),
+                ranked, verdict, move ? move->to : 0,
+                move ? move->predictedGain : 0.0,
+                move ? move->random : false, kept);
+        }
+        if (kept)
+            moves.push_back(*move);
+    }
+    if (ledger_ && !predicted.empty()) {
+        std::vector<std::pair<storage::DeviceId,
+                              std::pair<double, uint64_t>>>
+            by_device(predicted.begin(), predicted.end());
+        ledger_->recordPrediction(db_->watermark().accesses, by_device);
     }
     return checker_->capMoves(std::move(moves));
 }
@@ -146,8 +250,12 @@ Geomancy::explorationMoves()
         if (moves.size() >= config_.explorationMoves)
             break;
         std::optional<CheckedMove> move = checker_->randomMove(file, rng_);
-        if (move)
+        if (move) {
+            if (ledger_)
+                ledger_->recordExploration(move->file, move->from,
+                                           move->to);
             moves.push_back(*move);
+        }
     }
     return moves;
 }
@@ -171,6 +279,10 @@ Geomancy::runCycle()
     bool probe = guardrails_->probeDue(cycles_);
     report.probe = probe;
     report.safeMode = guardrails_->safeMode();
+    if (ledger_) {
+        ledger_->beginCycle(cycles_, system_.clock().now(),
+                            guardrails_->safeMode(), probe);
+    }
     runCycleBody(report, probe, injector);
 
     CycleEvidence evidence;
@@ -190,6 +302,38 @@ Geomancy::runCycle()
         control_->abandonPending();
     }
     report.safeMode = guardrails_->safeMode();
+    if (ledger_) {
+        if (transition == GuardrailTransition::Entered)
+            ledger_->recordTransition("safe_enter");
+        else if (transition == GuardrailTransition::Exited)
+            ledger_->recordTransition("safe_exit");
+        LedgerCycleSummary summary;
+        summary.acted = report.acted;
+        summary.explored = report.explored;
+        summary.skipped = report.skipped;
+        summary.held = report.held;
+        summary.safeMode = report.safeMode;
+        summary.probe = report.probe;
+        summary.trained = report.retrain.trained;
+        summary.diverged = report.retrain.diverged;
+        summary.cancelled = report.retrain.cancelled;
+        summary.maeFraction = report.retrain.meanAbsRelError;
+        summary.proposed = report.proposedMoves;
+        summary.applied = report.moves.applied;
+        summary.failed = report.moves.failed;
+        summary.abandoned = report.moves.abandoned;
+        summary.cancelledMoves = report.moves.cancelled;
+        // Deltas of checkpointed cumulative counters, not the
+        // in-process per-cycle ones: those recount only the re-ingested
+        // tail after a crash/rewind/resume and would break the ledger's
+        // byte-for-byte replay guarantee.
+        summary.admitted = ledger_->advanceCumulative(
+            0, static_cast<uint64_t>(db_->watermark().accesses));
+        summary.quarantined =
+            ledger_->advanceCumulative(1, guardrails_->quarantined());
+        summary.overrun = guardrails_->cycleOverrun();
+        ledger_->endCycle(summary);
+    }
     guardrails_->beginCycle();
     return report;
 }
@@ -198,13 +342,17 @@ void
 Geomancy::runCycleBody(CycleReport &report, bool probe,
                        storage::FaultInjector *injector)
 {
-    double now = system_.clock().now();
-    guardrails_->beginPhase("monitor", now);
+    double began = system_.clock().now();
+    enterPhase("monitor", 0);
     {
         GEO_SPAN("cycle", "monitor");
         flushAgents();
     }
-    guardrails_->endPhase(system_.clock().now());
+    leavePhase("monitor", 0, began);
+    // The freshly flushed window closes the loop on any outstanding
+    // prediction: join realized per-mount throughput against it.
+    if (ledger_)
+        ledger_->resolveRealized(*db_);
 
     // Safe mode: the layout is frozen. Telemetry keeps flowing (the
     // flush above) and probe cycles additionally retrain to test
@@ -223,14 +371,15 @@ Geomancy::runCycleBody(CycleReport &report, bool probe,
         return;
     }
 
-    guardrails_->beginPhase("train", system_.clock().now());
+    began = system_.clock().now();
+    enterPhase("train", 1);
     {
         GEO_SPAN("cycle", "train");
         TrainingBatch batch =
             daemon_->buildTrainingBatch(system_.deviceIds());
         report.retrain = engine_->retrain(batch);
     }
-    guardrails_->endPhase(system_.clock().now());
+    leavePhase("train", 1, began);
     if (injector)
         injector->maybeCrash(storage::CrashPoint::AfterTrain);
     if (!report.retrain.trained || report.retrain.diverged ||
@@ -249,6 +398,10 @@ Geomancy::runCycleBody(CycleReport &report, bool probe,
         report.held = true;
         report.skipped = true;
         cyclesSkippedMetric_->inc();
+        util::FlightRecorder::global().record(
+            util::FlightKind::LayoutHold, system_.clock().now(),
+            cycles_, guardrails_->cycleAdmitted(),
+            guardrails_->cycleQuarantined());
         warn("geomancy: cycle %zu holding layout (%zu admitted, %zu "
              "quarantined)",
              cycles_, guardrails_->cycleAdmitted(),
@@ -257,7 +410,8 @@ Geomancy::runCycleBody(CycleReport &report, bool probe,
     }
 
     std::vector<CheckedMove> moves;
-    guardrails_->beginPhase("propose", system_.clock().now());
+    began = system_.clock().now();
+    enterPhase("propose", 2);
     {
         GEO_SPAN("cycle", "propose");
         if (rng_.chance(config_.explorationRate)) {
@@ -274,13 +428,14 @@ Geomancy::runCycleBody(CycleReport &report, bool probe,
                                          system_.clock().now());
         }
     }
-    guardrails_->endPhase(system_.clock().now());
+    leavePhase("propose", 2, began);
     if (injector)
         injector->maybeCrash(storage::CrashPoint::AfterPropose);
     if (moves.empty() && control_->pendingRetries() == 0)
         return;
 
-    guardrails_->beginPhase("migrate", system_.clock().now());
+    began = system_.clock().now();
+    enterPhase("migrate", 3);
     {
         GEO_SPAN("cycle", "migrate");
         std::vector<MoveRequest> requests;
@@ -289,8 +444,12 @@ Geomancy::runCycleBody(CycleReport &report, bool probe,
             requests.push_back({move.file, move.to});
         report.moves = control_->apply(requests);
     }
-    guardrails_->endPhase(system_.clock().now());
+    leavePhase("migrate", 3, began);
     report.acted = report.moves.applied > 0;
+    if (ledger_) {
+        for (const AppliedMove &fate : report.moves.outcomes)
+            ledger_->recordOutcome(fate);
+    }
 
     // Let the scheduler's circuit breaker learn from move fates:
     // successes close a target's breaker, fault-class failures count
@@ -327,6 +486,11 @@ Geomancy::saveState(util::StateWriter &w)
     w.boolean("geo.has_scheduler", scheduler_ != nullptr);
     if (scheduler_)
         scheduler_->saveState(w);
+    // Ledger cursor: a restore truncates the audit trail back to this
+    // cut so replayed cycles re-append byte-identical rows.
+    w.boolean("geo.has_ledger", ledger_ != nullptr);
+    if (ledger_)
+        ledger_->saveState(w);
     // Guardrails: a crash in safe mode must resume in safe mode with
     // the same probe schedule.
     guardrails_->saveState(w);
@@ -356,6 +520,13 @@ Geomancy::loadState(util::StateReader &r)
     }
     if (scheduler_ && r.ok())
         scheduler_->loadState(r);
+    bool hasLedger = r.boolean("geo.has_ledger");
+    if (r.ok() && hasLedger != (ledger_ != nullptr)) {
+        r.fail("geomancy: ledger config changed since the checkpoint");
+        return;
+    }
+    if (ledger_ && r.ok())
+        ledger_->loadState(r);
     if (r.ok())
         guardrails_->loadState(r);
     ReplayDbWatermark wm;
@@ -388,6 +559,9 @@ Geomancy::restore(const std::string &path)
     // Safety net: reconcile the pending queue against the attempt log.
     // Idempotent, so it is harmless when the snapshot carried the queue.
     control_->restorePending();
+    util::FlightRecorder::global().record(util::FlightKind::Restore,
+                                          system_.clock().now(),
+                                          cycles_);
     inform("Geomancy::restore: resumed at cycle %llu from %s",
            static_cast<unsigned long long>(cycles_), path.c_str());
     return true;

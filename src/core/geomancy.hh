@@ -20,6 +20,7 @@
 
 #include "core/action_checker.hh"
 #include "core/control_agent.hh"
+#include "core/decision_ledger.hh"
 #include "core/drl_engine.hh"
 #include "core/guardrails.hh"
 #include "core/interface_daemon.hh"
@@ -126,6 +127,18 @@ class Geomancy
     /** The movement scheduler, or null when disabled. */
     MovementScheduler *scheduler() { return scheduler_.get(); }
 
+    /**
+     * Attach a decision audit ledger writing NDJSON to `path`
+     * (recording-only: the decision trajectory is unchanged — pinned
+     * by the LedgerIdentity test). Attach before restore() so the
+     * ledger cursor is part of the loaded cut; nothing touches the
+     * disk until the first cycle ends.
+     */
+    void attachLedger(const std::string &path);
+
+    /** The attached ledger, or null. */
+    DecisionLedger *ledger() { return ledger_.get(); }
+
     const std::vector<storage::FileId> &managedFiles() const
     {
         return managedFiles_;
@@ -173,6 +186,7 @@ class Geomancy
     std::unique_ptr<ControlAgent> control_;
     std::unique_ptr<Guardrails> guardrails_;
     std::unique_ptr<MovementScheduler> scheduler_; ///< optional
+    std::unique_ptr<DecisionLedger> ledger_;       ///< optional
     std::vector<std::unique_ptr<MonitoringAgent>> agents_;
     size_t cycles_ = 0;
 
@@ -193,6 +207,13 @@ class Geomancy
 
     /** Propose checked moves from the current model. */
     std::vector<CheckedMove> proposeMoves();
+
+    /** Guardrail budget of a named phase (for the ledger's rows). */
+    double phaseBudget(const char *phase) const;
+
+    /** beginPhase/endPhase plus ledger/flight-recorder bookkeeping. */
+    void enterPhase(const char *phase, int index);
+    void leavePhase(const char *phase, int index, double began);
 
     /** Random exploration move set. */
     std::vector<CheckedMove> explorationMoves();

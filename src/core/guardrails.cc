@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/trace_event.hh"
 
@@ -128,6 +129,9 @@ Guardrails::quarantineRecord(const PerfRecord &rec, QuarantineReason reason)
     ++cycleQuarantined_;
     ++perReason_[static_cast<size_t>(reason)];
     quarantinedMetric_->inc();
+    util::FlightRecorder::global().record(
+        util::FlightKind::QuarantineReject, entry.quarantinedAt,
+        static_cast<uint64_t>(reason), rec.device);
     reasonMetrics_[static_cast<size_t>(reason)]->inc();
 }
 
@@ -220,6 +224,11 @@ Guardrails::enterSafeMode(uint64_t cycle)
          (unsigned long long)cycle, (unsigned long long)nextProbeCycle_);
     GEO_TRACE_INSTANT("guardrails", "safe_mode_enter", util::TimeDomain::Sim,
                       clock_.now());
+    // Safe-mode entry is exactly the moment an operator wants the
+    // recent event history: leave a post-mortem artifact now.
+    util::FlightRecorder &recorder = util::FlightRecorder::global();
+    recorder.record(util::FlightKind::SafeModeEnter, clock_.now(), cycle);
+    recorder.crashDump("safe-mode");
 }
 
 void
@@ -235,6 +244,8 @@ Guardrails::exitSafeMode(uint64_t cycle)
     exitsMetric_->inc();
     safeModeGauge_->set(0.0);
     backoffGauge_->set(0.0);
+    util::FlightRecorder::global().record(
+        util::FlightKind::SafeModeExit, clock_.now(), cycle);
     inform("guardrails: healthy probe, leaving safe mode at cycle %llu "
            "(entered at %llu)",
            (unsigned long long)cycle, (unsigned long long)enteredCycle_);

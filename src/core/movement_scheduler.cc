@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 
 namespace geo {
@@ -141,6 +142,9 @@ MovementScheduler::recordMoveOutcome(storage::DeviceId target,
         breaker.openedAt = now;
         breaker.probeInFlight = false;
         breakerTripsMetric_->inc();
+        util::FlightRecorder::global().record(
+            util::FlightKind::BreakerTrip, now, target,
+            breaker.failures.size());
         warn("scheduler: probe move onto device %u failed, breaker "
              "re-opened", (unsigned)target);
         return;
@@ -152,6 +156,9 @@ MovementScheduler::recordMoveOutcome(storage::DeviceId target,
         breaker.state = BreakerState::Open;
         breaker.openedAt = now;
         breakerTripsMetric_->inc();
+        util::FlightRecorder::global().record(
+            util::FlightKind::BreakerTrip, now, target,
+            breaker.failures.size());
         warn("scheduler: breaker for device %u opened after %zu "
              "failures in %.0f s", (unsigned)target,
              breaker.failures.size(), config_.breaker.windowSeconds);

@@ -3,6 +3,7 @@
 #include <sqlite3.h>
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "util/csv.hh"
@@ -358,6 +359,39 @@ ReplayDb::deviceThroughput(size_t limit) const
     if (rc != SQLITE_DONE)
         noteReadCorrupt("deviceThroughput");
     sqlite3_finalize(stmt);
+    return result;
+}
+
+std::vector<std::tuple<storage::DeviceId, double, int64_t>>
+ReplayDb::deviceThroughputSince(int64_t min_id) const
+{
+    // A GROUP BY device_id would tempt the planner onto the
+    // (device_id, id) index — a full-index walk that grows with the
+    // table, not the tail.  Range-scan the rowid tail and aggregate
+    // here instead; the tail is one monitoring window (~1k rows).
+    const char *sql =
+        "SELECT device_id, throughput FROM accesses WHERE id > ?;";
+    sqlite3_stmt *stmt = nullptr;
+    if (sqlite3_prepare_v2(db_, sql, -1, &stmt, nullptr) != SQLITE_OK)
+        fatal("ReplayDb: deviceThroughputSince: %s", sqlite3_errmsg(db_));
+    sqlite3_bind_int64(stmt, 1, min_id);
+    std::map<storage::DeviceId, std::pair<double, int64_t>> acc;
+    int rc;
+    while ((rc = sqlite3_step(stmt)) == SQLITE_ROW) {
+        auto &slot = acc[static_cast<storage::DeviceId>(
+            sqlite3_column_int64(stmt, 0))];
+        slot.first += sqlite3_column_double(stmt, 1);
+        ++slot.second;
+    }
+    if (rc != SQLITE_DONE)
+        noteReadCorrupt("deviceThroughputSince");
+    sqlite3_finalize(stmt);
+    std::vector<std::tuple<storage::DeviceId, double, int64_t>> result;
+    result.reserve(acc.size());
+    for (const auto &[device, slot] : acc)
+        result.emplace_back(device,
+                            slot.first / static_cast<double>(slot.second),
+                            slot.second);
     return result;
 }
 

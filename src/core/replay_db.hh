@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/perf_record.hh"
@@ -143,6 +144,15 @@ class ReplayDb
      *  samples (devices with no samples are absent). */
     std::vector<std::pair<storage::DeviceId, double>>
     deviceThroughput(size_t limit) const;
+
+    /**
+     * Mean measured throughput and sample count per device over every
+     * access with row id > `min_id`, ordered by device. The decision
+     * ledger joins these realized windows against its recorded
+     * predictions (a watermark pins the window start).
+     */
+    std::vector<std::tuple<storage::DeviceId, double, int64_t>>
+    deviceThroughputSince(int64_t min_id) const;
 
     /** Record a layout action. */
     int64_t insertMovement(const MovementRecord &movement);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "storage/system.hh"
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/supervise.hh"
@@ -310,6 +311,14 @@ FaultInjector::maybeCrash(CrashPoint point)
          "code %d", crashPointName(point),
          static_cast<unsigned long long>(currentCycle_),
          util::kCrashExitCode);
+    // Post-mortem artifacts first: the kill point is a stand-in for a
+    // real crash, and a real crash should leave the flight ring and
+    // the buffered trace tail behind for diagnosis.
+    util::FlightRecorder &recorder = util::FlightRecorder::global();
+    recorder.record(util::FlightKind::CrashPoint, now_,
+                    static_cast<uint64_t>(point), currentCycle_);
+    recorder.crashDump("killpoint");
+    util::TraceCollector::global().crashFlush();
     // _Exit, not exit(): a real crash runs no destructors, flushes no
     // buffers and fires no atexit hooks. Anything not already durable
     // is lost — exactly what restore must cope with.

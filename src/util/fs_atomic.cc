@@ -1,6 +1,7 @@
 #include "util/fs_atomic.hh"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -92,6 +93,46 @@ writeFileAtomic(const std::string &path, const std::string &content)
     }
     syncDir(dirOf(path));
     return true;
+}
+
+bool
+appendFileDurable(const std::string &path, const char *data, size_t len,
+                  uint64_t expected_size)
+{
+    // No O_CREAT: an append is only meaningful onto the file this
+    // caller has already written; a missing file means the history is
+    // gone and the caller must rewrite it whole.
+    int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0)
+        return false;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<uint64_t>(st.st_size) != expected_size) {
+        ::close(fd);
+        return false;
+    }
+    bool ok = true;
+    size_t remaining = len;
+    while (remaining > 0) {
+        ssize_t written = ::write(fd, data, remaining);
+        if (written < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("appendFileDurable: write %s: %s", path.c_str(),
+                 std::strerror(errno));
+            ok = false;
+            break;
+        }
+        data += written;
+        remaining -= static_cast<size_t>(written);
+    }
+    if (ok && ::fsync(fd) != 0) {
+        warn("appendFileDurable: fsync %s: %s", path.c_str(),
+             std::strerror(errno));
+        ok = false;
+    }
+    ::close(fd);
+    return ok;
 }
 
 bool

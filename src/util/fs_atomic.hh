@@ -29,6 +29,22 @@ namespace util {
 bool writeFileAtomic(const std::string &path, const std::string &content);
 
 /**
+ * Durably append `len` bytes to an existing file whose current size
+ * is exactly `expected_size` (the caller's record of what it has
+ * already written).  The size check makes the append safe for
+ * cursor-tracked logs: if anything else touched the file — truncated,
+ * replaced, deleted — the append is refused and the caller should
+ * fall back to a full writeFileAtomic() rewrite.  The data is
+ * fsync()ed before returning; a crash mid-append can leave a partial
+ * tail, which cursor-based recovery truncates on restart.
+ *
+ * @return false if the file is missing, its size does not match, or
+ *         any I/O error occurs (a warn() is logged with errno).
+ */
+bool appendFileDurable(const std::string &path, const char *data,
+                       size_t len, uint64_t expected_size);
+
+/**
  * Read a whole file into `out`.
  * @return false if the file cannot be opened or read.
  */

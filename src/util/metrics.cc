@@ -318,29 +318,89 @@ MetricRegistry::toJson() const
     return out.str();
 }
 
+void
+MetricRegistry::setHelp(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    help_[name] = help;
+}
+
+std::string
+MetricRegistry::helpFor(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = help_.find(name);
+    if (it != help_.end())
+        return it->second;
+    return "geomancy metric " + name;
+}
+
+std::string
+MetricRegistry::promEscapeHelp(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+MetricRegistry::promEscapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
 std::string
 MetricRegistry::toPrometheus() const
 {
+    // HELP before TYPE before samples, per the exposition format.
     std::ostringstream out;
+    auto header = [&](const std::string &name, const std::string &prom,
+                      const char *type) {
+        out << "# HELP " << prom << " "
+            << promEscapeHelp(helpFor(name)) << "\n"
+            << "# TYPE " << prom << " " << type << "\n";
+    };
+    auto quantile = [&](const std::string &prom, const char *q,
+                        double value) {
+        out << prom << "{quantile=\"" << promEscapeLabel(q) << "\"} "
+            << jsonNumber(value) << "\n";
+    };
     for (const auto &[name, value] : counters()) {
         std::string prom = promName(name);
-        out << "# TYPE " << prom << " counter\n"
-            << prom << " " << value << "\n";
+        header(name, prom, "counter");
+        out << prom << " " << value << "\n";
     }
     for (const auto &[name, value] : gauges()) {
         std::string prom = promName(name);
-        out << "# TYPE " << prom << " gauge\n"
-            << prom << " " << jsonNumber(value) << "\n";
+        header(name, prom, "gauge");
+        out << prom << " " << jsonNumber(value) << "\n";
     }
     for (const auto &[name, snap] : histograms()) {
         std::string prom = promName(name);
-        out << "# TYPE " << prom << " summary\n";
-        out << prom << "{quantile=\"0.5\"} " << jsonNumber(snap.p50)
-            << "\n";
-        out << prom << "{quantile=\"0.95\"} " << jsonNumber(snap.p95)
-            << "\n";
-        out << prom << "{quantile=\"0.99\"} " << jsonNumber(snap.p99)
-            << "\n";
+        header(name, prom, "summary");
+        quantile(prom, "0.5", snap.p50);
+        quantile(prom, "0.95", snap.p95);
+        quantile(prom, "0.99", snap.p99);
         out << prom << "_sum " << jsonNumber(snap.sum) << "\n";
         out << prom << "_count " << snap.count << "\n";
     }

@@ -152,9 +152,26 @@ class MetricRegistry
     /** JSON snapshot ("geo-metrics-1": counters/gauges/histograms). */
     std::string toJson() const;
 
-    /** Prometheus-style text exposition (dots become underscores,
-     *  histograms export as summaries with p50/p95/p99). */
+    /**
+     * Attach help text to a metric (any kind; keyed by the dotted
+     * name). Exported as the `# HELP` line of the Prometheus
+     * exposition, escaped per the format rules. Metrics without help
+     * get a generated fallback.
+     */
+    void setHelp(const std::string &name, const std::string &help);
+
+    /** Prometheus text exposition (dots become underscores, histograms
+     *  export as summaries with p50/p95/p99, `# HELP`/`# TYPE` per
+     *  metric, label values and help text escaped per the format). */
     std::string toPrometheus() const;
+
+    /** Escape HELP text per the exposition format: backslash and
+     *  newline become \\ and \n. */
+    static std::string promEscapeHelp(const std::string &text);
+
+    /** Escape a label value per the exposition format: backslash,
+     *  double quote and newline become \\, \" and \n. */
+    static std::string promEscapeLabel(const std::string &value);
 
     /** Write toJson() to a file. @return false on I/O error. */
     bool writeJsonFile(const std::string &path) const;
@@ -173,6 +190,10 @@ class MetricRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::string> help_; ///< HELP text by name
+
+    /** Registered help for `name`, or a generated fallback. */
+    std::string helpFor(const std::string &name) const;
 };
 
 } // namespace util

@@ -1,8 +1,13 @@
 #include "util/trace_event.hh"
 
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "util/logging.hh"
 
@@ -167,6 +172,97 @@ TraceCollector::writeJsonFile(const std::string &path) const
         return false;
     out << toJson();
     return static_cast<bool>(out);
+}
+
+void
+TraceCollector::setCrashFlushPath(const std::string &path)
+{
+    size_t n = path.size();
+    if (n >= sizeof crashPath_)
+        n = sizeof crashPath_ - 1;
+    std::memcpy(crashPath_, path.data(), n);
+    crashPath_[n] = '\0';
+}
+
+namespace {
+
+/** write(2) a snprintf-formatted chunk; false on short write. */
+bool
+writeAll(int fd, const char *buf, int len)
+{
+    return len >= 0 &&
+           ::write(fd, buf, static_cast<size_t>(len)) == len;
+}
+
+} // namespace
+
+bool
+TraceCollector::crashFlushTo(int fd) const
+{
+    // Deliberately lock-free: the crashing thread may be the one
+    // holding mutex_. Reading the vector concurrently with a push is
+    // benign in practice — capacity is fixed at enable() time, so the
+    // storage never moves; at worst the event being appended is
+    // dropped or torn, and a torn trace line beats no trace at all.
+    const Event *events = events_.data();
+    size_t count = events_.size();
+    if (count > events_.capacity())
+        count = 0; // size read mid-update: give up on the body
+
+    char buf[512];
+    int len = std::snprintf(
+        buf, sizeof buf,
+        "{\"traceEvents\":[\n"
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"geomancy host (steady clock)\"}},\n"
+        "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"geomancy sim (SimClock)\"}}");
+    if (!writeAll(fd, buf, len))
+        return false;
+    for (size_t i = 0; i < count; ++i) {
+        const Event &event = events[i];
+        if (!event.cat || !event.name)
+            continue; // torn slot: the pointers are set on push
+        const bool sim = event.domain == TimeDomain::Sim;
+        const double scale = sim ? 1e6 : 1.0;
+        len = std::snprintf(buf, sizeof buf,
+                            ",\n{\"ph\":\"%c\",\"pid\":%d,\"tid\":%u,"
+                            "\"ts\":%.6g,\"cat\":\"%s\",\"name\":\"%s\"",
+                            event.phase, sim ? 2 : 1,
+                            sim ? 0 : event.tid, event.ts * scale,
+                            event.cat, event.name);
+        if (!writeAll(fd, buf, len))
+            return false;
+        if (event.phase == 'X')
+            len = std::snprintf(buf, sizeof buf, ",\"dur\":%.6g}",
+                                event.dur * scale);
+        else if (event.phase == 'i')
+            len = std::snprintf(buf, sizeof buf, ",\"s\":\"t\"}");
+        else if (event.phase == 'C')
+            len = std::snprintf(buf, sizeof buf,
+                                ",\"args\":{\"value\":%.6g}}",
+                                event.value);
+        else
+            len = std::snprintf(buf, sizeof buf, "}");
+        if (!writeAll(fd, buf, len))
+            return false;
+    }
+    len = std::snprintf(buf, sizeof buf,
+                        "\n],\"displayTimeUnit\":\"ms\"}\n");
+    return writeAll(fd, buf, len);
+}
+
+bool
+TraceCollector::crashFlush() const
+{
+    if (crashPath_[0] == '\0')
+        return false;
+    int fd = ::open(crashPath_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    bool ok = crashFlushTo(fd);
+    ::close(fd);
+    return ok;
 }
 
 TraceCollector &

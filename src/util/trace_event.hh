@@ -105,6 +105,27 @@ class TraceCollector
     /** Write toJson() to a file. @return false on I/O error. */
     bool writeJsonFile(const std::string &path) const;
 
+    /**
+     * Register the path crashFlush() writes to (copied into a fixed
+     * internal buffer; empty disables). Set this alongside the normal
+     * trace output path so a crashed run keeps its trace tail.
+     */
+    void setCrashFlushPath(const std::string &path);
+
+    /**
+     * Best-effort dump of the buffered events for fatal-signal and
+     * kill-point paths: the already-recorded POD events are formatted
+     * with snprintf into a stack buffer and written with write(2) —
+     * no allocation, no locks (a recorder racing mid-push can cost at
+     * most the event it was appending). The output is the same Chrome
+     * trace JSON as toJson(). @return false when no crash path is
+     * registered or I/O failed.
+     */
+    bool crashFlush() const;
+
+    /** crashFlush() to an already-open descriptor. */
+    bool crashFlushTo(int fd) const;
+
     /** Host-domain timestamp: steady-clock microseconds since the
      *  collector was (first) enabled. */
     double nowUs() const;
@@ -134,6 +155,7 @@ class TraceCollector
     std::atomic<int64_t> epochNs_{0};
     mutable std::mutex mutex_;
     std::vector<Event> events_; ///< capacity fixed at enable() time
+    char crashPath_[512] = {0}; ///< crashFlush() destination
 };
 
 /**

@@ -232,6 +232,60 @@ TEST(MetricRegistry, PrometheusExposition)
     EXPECT_NE(prom.find("geo_drl_train_ms_count 1"), std::string::npos);
 }
 
+TEST(MetricRegistry, PrometheusHelpAndType)
+{
+    MetricRegistry registry;
+    registry.counter("geomancy.cycles").inc();
+    registry.setHelp("geomancy.cycles",
+                     "Decision cycles completed by the pipeline");
+    registry.gauge("ledger.dev0.abs_err").set(0.25);
+
+    std::string prom = registry.toPrometheus();
+    size_t help = prom.find("# HELP geo_geomancy_cycles "
+                            "Decision cycles completed by the pipeline");
+    size_t type = prom.find("# TYPE geo_geomancy_cycles counter");
+    size_t sample = prom.find("geo_geomancy_cycles 1");
+    ASSERT_NE(help, std::string::npos) << prom;
+    ASSERT_NE(type, std::string::npos) << prom;
+    ASSERT_NE(sample, std::string::npos) << prom;
+    // Exposition order within a family: HELP, then TYPE, then samples.
+    EXPECT_LT(help, type);
+    EXPECT_LT(type, sample);
+    // A metric nobody registered help for still gets a HELP line.
+    EXPECT_NE(prom.find("# HELP geo_ledger_dev0_abs_err "),
+              std::string::npos);
+}
+
+TEST(MetricRegistry, PrometheusHelpIsEscaped)
+{
+    MetricRegistry registry;
+    registry.counter("a.b").inc();
+    registry.setHelp("a.b", "line one\nback\\slash");
+    std::string prom = registry.toPrometheus();
+    EXPECT_NE(prom.find("# HELP geo_a_b line one\\nback\\\\slash"),
+              std::string::npos)
+        << prom;
+}
+
+TEST(MetricRegistry, PromEscapeLabelValue)
+{
+    EXPECT_EQ(MetricRegistry::promEscapeLabel("plain"), "plain");
+    EXPECT_EQ(MetricRegistry::promEscapeLabel("a\\b"), "a\\\\b");
+    EXPECT_EQ(MetricRegistry::promEscapeLabel("say \"hi\""),
+              "say \\\"hi\\\"");
+    EXPECT_EQ(MetricRegistry::promEscapeLabel("two\nlines"),
+              "two\\nlines");
+}
+
+TEST(MetricRegistry, PromEscapeHelpKeepsQuotes)
+{
+    // HELP text escapes backslash and newline but NOT double quotes —
+    // quotes are only special inside label values.
+    EXPECT_EQ(MetricRegistry::promEscapeHelp("a \"quoted\" word"),
+              "a \"quoted\" word");
+    EXPECT_EQ(MetricRegistry::promEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+}
+
 TEST(MetricRegistry, ResetZeroesButKeepsRegistrations)
 {
     MetricRegistry registry;

@@ -101,13 +101,52 @@ for key in ("counter_ns", "histogram_ns", "plain_loop_ns"):
     if overhead[key] < 0:
         fail(f"metrics_overhead {key} must be non-negative")
 
+ledger = doc.get("ledger_overhead")
+if not isinstance(ledger, dict):
+    fail("ledger_overhead section missing")
+for key in ("with_ms", "without_ms", "overhead_frac", "rows"):
+    if key not in ledger:
+        fail(f"ledger_overhead missing {key}")
+if ledger["rows"] <= 0:
+    fail("ledger_overhead recorded no ledger rows")
+if ledger["with_ms"] <= 0 or ledger["without_ms"] <= 0:
+    fail(f"ledger_overhead timings must be positive: {ledger}")
+# Budget: the audit ledger must stay under 2% of the decision cycle.
+# The true cost is well under a millisecond per cycle, which is below
+# the run-to-run noise of a single quick measurement on a shared
+# machine, so only an overhead that is both relatively AND absolutely
+# large is treated as a real regression.
+delta_ms = ledger["with_ms"] - ledger["without_ms"]
+if ledger["overhead_frac"] >= 0.02 and delta_ms >= 2.0:
+    fail(f"ledger overhead {ledger['overhead_frac']:.1%} "
+         f"({delta_ms:.2f} ms/cycle) blows the 2% budget")
+
 print("bench_smoke: BENCH_perf.json schema OK "
       f"({len(gemm)} gemm sizes, epoch {train['epoch_ms']:.1f} ms / "
       f"0 steady-state allocs, scoring speedup "
       f"{scoring['speedup']:.2f}x, bitwise_equal="
       f"{scoring['bitwise_equal']}, counter overhead "
-      f"{overhead['counter_ns']:.1f} ns)")
+      f"{overhead['counter_ns']:.1f} ns, ledger overhead "
+      f"{ledger['overhead_frac']:.1%})")
 EOF
+
+echo "== diffing against the committed quick baseline =="
+# Quick-mode timings are only comparable with a quick-mode baseline;
+# BENCH_perf.json (the tracked full-mode baseline) is diffed by the
+# full perf runs, not the smoke test.  A single quick run on a shared
+# machine can be contaminated by co-tenant load, so one failed diff
+# earns one remeasurement before the smoke test fails.
+baseline="${repo_root}/BENCH_perf_quick.json"
+if [[ -f "${baseline}" ]]; then
+    if ! python3 "${repo_root}/tools/perf_diff.py" "${baseline}" "${out}"
+    then
+        echo "== perf_diff failed; remeasuring once to rule out noise =="
+        GEO_PERF_QUICK=1 GEO_SKIP_MICRO=1 GEO_PERF_OUT="${out}" "${bench}"
+        python3 "${repo_root}/tools/perf_diff.py" "${baseline}" "${out}"
+    fi
+else
+    echo "bench_smoke.sh: ${baseline} missing, skipping perf diff" >&2
+fi
 
 sim="${build_dir}/tools/geomancy_sim"
 if [[ -x "${sim}" ]]; then

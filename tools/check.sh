@@ -67,6 +67,57 @@ rm -rf "${drill}"
 
 echo "== check.sh: crash drill resumed byte-identical =="
 
+# Audit-trail drill: run the sim under chaos with the decision ledger
+# and flight recorder enabled (still the sanitizer build), validate
+# the geo-ledger-1 stream structurally, and smoke the explain CLI
+# against it.
+echo "== decision ledger + chaos drill (sanitizer build) =="
+audit="$(mktemp -d /tmp/geo_audit_drill.XXXXXX)"
+"${sim}" "${sim_flags[@]}" --chaos \
+    --ledger-out "${audit}/ledger.ndjson" \
+    --flight-dump-dir "${audit}"
+python3 - "${audit}/ledger.ndjson" <<'EOF'
+import json
+import sys
+
+def fail(message):
+    print(f"check.sh: {message}", file=sys.stderr)
+    sys.exit(1)
+
+known = {"cycle_start", "phase", "candidate", "prediction", "realized",
+         "outcome", "transition", "cycle"}
+rows = []
+with open(sys.argv[1]) as fh:
+    header = json.loads(fh.readline())
+    if header.get("schema") != "geo-ledger-1":
+        fail(f"bad ledger header: {header}")
+    for line in fh:
+        rows.append(json.loads(line))
+
+if not rows:
+    fail("ledger recorded no rows")
+for i, row in enumerate(rows):
+    if row.get("t") not in known:
+        fail(f"unknown row type {row.get('t')!r}")
+    if row.get("seq") != i + 1:
+        fail(f"seq broke at row {i}: {row}")
+    if row["t"] == "candidate" and row.get("verdict") != "exploration" \
+            and len(row.get("features", [])) != 6:
+        fail(f"candidate without 6 features: {row}")
+if not any(r["t"] == "cycle" for r in rows):
+    fail("no cycle summary rows")
+print(f"check.sh: ledger OK ({len(rows)} rows, "
+      f"{sum(1 for r in rows if r['t'] == 'cycle')} cycles)")
+EOF
+explain="${build_dir}/tools/geomancy_explain"
+"${explain}" --ledger "${audit}/ledger.ndjson" --prediction-error \
+    --per-mount
+"${explain}" --ledger "${audit}/ledger.ndjson" --vetoes --json \
+    > /dev/null
+rm -rf "${audit}"
+
+echo "== check.sh: ledger drill clean under address;undefined =="
+
 # ThreadSanitizer phase: a dedicated build tree with TSan, running the
 # concurrency-sensitive subset of the suite (thread pool, watchdog
 # cancellation visibility, metric registry, logging, tracing, parallel
@@ -84,7 +135,7 @@ cmake --build "${tsan_dir}" -j "${jobs}"
 echo "== running the concurrency subset under TSan =="
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
-    -R 'ThreadPool|Watchdog|CancelToken|Metric|Trace|Logging|Parallel|Concurrent|Batched|Guardrails'
+    -R 'ThreadPool|Watchdog|CancelToken|Metric|Trace|Logging|Parallel|Concurrent|Batched|Guardrails|Flight'
 
 echo "== check.sh: concurrency subset clean under thread sanitizer =="
 

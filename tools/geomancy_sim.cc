@@ -14,7 +14,13 @@
  *                [--metrics-prom FILE] [--trace-out FILE] [--quiet]
  *                [--checkpoint-dir DIR] [--checkpoint-every N]
  *                [--crash-at POINT] [--crash-cycle N] [--resume]
- *                [--max-restarts N]
+ *                [--max-restarts N] [--ledger-out FILE]
+ *                [--flight-dump-dir DIR]
+ *
+ * --ledger-out attaches the decision audit ledger (geo-ledger-1
+ * NDJSON; read it back with geomancy_explain). --flight-dump-dir
+ * arms the flight recorder: fatal signals, kill points and safe-mode
+ * entries leave a post-mortem event dump under DIR.
  *
  * --faults degrades the "var" mount from t=0 (fig7-style rebuild:
  * bandwidth loss + transient I/O errors), so evacuation migrations
@@ -55,6 +61,7 @@
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "util/flight_recorder.hh"
 #include "util/state_io.hh"
 #include "util/supervise.hh"
 #include "util/table.hh"
@@ -89,6 +96,8 @@ struct Options
     uint64_t crashCycle = 2;     ///< decision cycle the crash arms at
     bool resume = false;         ///< restart from the newest snapshot
     int maxRestarts = 0;         ///< >0 runs under the supervisor
+    std::string ledgerPath;      ///< decision audit ledger (NDJSON)
+    std::string flightDumpDir;   ///< flight-recorder dump directory
 };
 
 void
@@ -129,6 +138,12 @@ usage()
         "  --resume        restart from the newest valid snapshot\n"
         "  --max-restarts N      supervise: fork attempts, restart\n"
         "                        crashed children with backoff\n"
+        "  --ledger-out FILE     write the decision audit ledger\n"
+        "                        (geo-ledger-1 NDJSON; see\n"
+        "                        geomancy_explain)\n"
+        "  --flight-dump-dir DIR dump the flight-recorder ring there\n"
+        "                        on fatal signals, kill points and\n"
+        "                        safe-mode entry\n"
         "  --quiet         suppress warnings\n";
 }
 
@@ -179,6 +194,10 @@ parse(int argc, char **argv, Options &options)
             options.resume = true;
         else if (arg == "--max-restarts")
             options.maxRestarts = std::stoi(next("--max-restarts"));
+        else if (arg == "--ledger-out")
+            options.ledgerPath = next("--ledger-out");
+        else if (arg == "--flight-dump-dir")
+            options.flightDumpDir = next("--flight-dump-dir");
         else if (arg == "--scheduler")
             options.scheduler = true;
         else if (arg == "--faults")
@@ -216,8 +235,20 @@ runOnce(const Options &options, int attempt, bool resume)
     util::MetricRegistry::global().reset();
     util::MetricRegistry::global().gauge("supervisor.restarts")
         .set(attempt);
-    if (!options.tracePath.empty())
+    if (!options.tracePath.empty()) {
         util::TraceCollector::global().enable();
+        // Crashes flush the buffered tail to the same path the clean
+        // exit would have written (a truncated trace beats none).
+        util::TraceCollector::global().setCrashFlushPath(
+            options.tracePath);
+    }
+    util::FlightRecorder::global().clear();
+    if (!options.flightDumpDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.flightDumpDir, ec);
+        util::FlightRecorder::global().setDumpDir(options.flightDumpDir);
+        util::FlightRecorder::installSignalHandlers();
+    }
 
     bool checkpointing = !options.checkpointDir.empty();
     std::unique_ptr<core::CheckpointManager> manager;
@@ -365,6 +396,15 @@ runOnce(const Options &options, int attempt, bool resume)
     if (name == "geomancy" || name == "geomancy-static") {
         geomancy = std::make_unique<core::Geomancy>(
             *system, workload.files(), gconfig, db_path);
+        if (!options.ledgerPath.empty()) {
+            // Fresh runs drop the previous run's ledger; resumes keep
+            // it — loadState truncates it back to the checkpoint cut.
+            if (!resume) {
+                std::error_code ec;
+                std::filesystem::remove(options.ledgerPath, ec);
+            }
+            geomancy->attachLedger(options.ledgerPath);
+        }
         if (name == "geomancy")
             policy = std::make_unique<core::GeomancyDynamicPolicy>(
                 *geomancy);
