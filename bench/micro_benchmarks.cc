@@ -24,6 +24,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/decision_ledger.hh"
@@ -776,6 +777,10 @@ runPerfSuite()
     out << "  \"schema\": \"geo-perf-2\",\n";
     out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
     out << "  \"threads\": " << util::ThreadPool::global().workerCount()
+        << ",\n";
+    // Scaling numbers are meaningless on a single hardware thread;
+    // perf_diff.py uses this to skip model_search_scaling deltas there.
+    out << "  \"hw_concurrency\": " << std::thread::hardware_concurrency()
         << ",\n";
     out << "  \"gemm\": [\n";
     for (size_t i = 0; i < gemm.size(); ++i) {

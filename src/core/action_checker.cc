@@ -122,8 +122,14 @@ ActionChecker::selectMove(storage::FileId file,
             stay_predicted = s.predictedThroughput;
             have_stay = true;
         }
+        // Ties break to the lowest device id, not container order:
+        // callers may enumerate candidates in any order, and shard
+        // digest comparison needs the argmax to be a pure function of
+        // the scores.
         if (!best ||
-            better(s.predictedThroughput, best->predictedThroughput))
+            better(s.predictedThroughput, best->predictedThroughput) ||
+            (s.predictedThroughput == best->predictedThroughput &&
+             s.device < best->device))
             best = &s;
     }
     if (!best) {
@@ -164,9 +170,15 @@ ActionChecker::selectMove(storage::FileId file,
 std::vector<CheckedMove>
 ActionChecker::capMoves(std::vector<CheckedMove> moves) const
 {
+    // Equal gains order by (file, target) so the cap keeps the same
+    // moves regardless of proposal order or sort implementation.
     std::sort(moves.begin(), moves.end(),
               [](const CheckedMove &a, const CheckedMove &b) {
-                  return a.predictedGain > b.predictedGain;
+                  if (a.predictedGain != b.predictedGain)
+                      return a.predictedGain > b.predictedGain;
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  return a.to < b.to;
               });
     std::vector<CheckedMove> kept;
     std::map<storage::DeviceId, size_t> per_target;

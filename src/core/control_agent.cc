@@ -21,6 +21,7 @@ ControlAgent::ControlAgent(storage::StorageSystem &system, ReplayDb *db,
     requeuedMetric_ = &registry.counter("control.moves_requeued");
     abandonedMetric_ = &registry.counter("control.moves_abandoned");
     cancelledMetric_ = &registry.counter("control.moves_cancelled");
+    deferredMetric_ = &registry.counter("control.moves_deferred");
     supersededMetric_ = &registry.counter("control.moves_superseded");
     retriesMetric_ = &registry.counter("control.retries");
     bytesMetric_ = &registry.counter("control.bytes_moved");
@@ -194,6 +195,17 @@ ControlAgent::apply(const std::vector<MoveRequest> &moves)
                        pending_.end());
     }
 
+    // Cross-shard admission: consult the coordinator's per-device
+    // budgets before each attempt. Out-of-range files pass through so
+    // attemptMove() can record the Skipped fate as before.
+    auto admits = [this](const MoveRequest &req) {
+        if (!admission_ || req.file >= system_.fileCount())
+            return true;
+        const storage::FileObject &f = system_.file(req.file);
+        return admission_->admitMove(f.location, req.target,
+                                     f.sizeBytes);
+    };
+
     // Drain the retries that have reached their due time.
     double now = system_.clock().now();
     std::vector<Pending> due;
@@ -217,6 +229,15 @@ ControlAgent::apply(const std::vector<MoveRequest> &moves)
                 pending_.push_back(due[i]);
             break;
         }
+        if (!admits(p.req)) {
+            // A denied retry stays owed: back to the queue, due again
+            // next cycle when the coordinator's budgets have reset.
+            pending_.push_back(p);
+            ++summary.deferred;
+            deferredMetric_->inc();
+            ++due_done;
+            continue;
+        }
         attemptMove(p.req, p.attempts, p.firstAttempt, summary);
         ++due_done;
     }
@@ -224,13 +245,20 @@ ControlAgent::apply(const std::vector<MoveRequest> &moves)
     for (const MoveRequest &req : moves) {
         if (overBudget())
             break;
+        if (!admits(req)) {
+            // A denied fresh move is simply dropped: the next cycle
+            // re-proposes from newer telemetry anyway.
+            ++summary.deferred;
+            deferredMetric_->inc();
+            continue;
+        }
         attemptMove(req, 0, system_.clock().now(), summary);
     }
 
     size_t attempted = summary.outcomes.size();
     size_t owed = due.size() + moves.size();
-    if (attempted < owed) {
-        summary.cancelled = owed - attempted;
+    if (attempted + summary.deferred < owed) {
+        summary.cancelled = owed - attempted - summary.deferred;
         cancelledMetric_->add(summary.cancelled);
         warn("control: migrate deadline hit, %zu move%s deferred",
              summary.cancelled, summary.cancelled == 1 ? "" : "s");

@@ -61,6 +61,24 @@ struct ControlAgentConfig
     uint64_t seed = 17;
 };
 
+/**
+ * Cross-shard admission control. When several ControlAgents share one
+ * substrate (the shard coordinator), each consults this hook before
+ * every attempt so per-device concurrency/bytes budgets hold globally.
+ * Returning false defers the move: a fresh request is dropped (counted
+ * as deferred), a due retry stays queued for the next cycle. The hook
+ * must be deterministic — admission decisions are part of the replayed
+ * decision trajectory.
+ */
+class MoveAdmission
+{
+  public:
+    virtual ~MoveAdmission() = default;
+    /** May `bytes` move from `from` to `to` right now? */
+    virtual bool admitMove(storage::DeviceId from, storage::DeviceId to,
+                           uint64_t bytes) = 0;
+};
+
 /** The fate of one request within an apply() batch. */
 struct AppliedMove
 {
@@ -82,6 +100,7 @@ struct MoveSummary
     size_t abandoned = 0; ///< moves given up (budget/deadline)
     size_t requeued = 0;  ///< fault-aborted moves queued for retry
     size_t cancelled = 0; ///< not attempted: the watchdog fired
+    size_t deferred = 0;  ///< denied by cross-shard admission control
     uint64_t bytesMoved = 0;
     double transferSeconds = 0.0;
     /** Per-request fates, in execution order (retries included). */
@@ -119,6 +138,13 @@ class ControlAgent
      * for the next cycle. Null disables (the default).
      */
     void setWatchdog(util::Watchdog *watchdog) { watchdog_ = watchdog; }
+
+    /**
+     * Cross-shard admission hook, consulted before every attempt when
+     * set. Denied fresh moves are dropped (summary.deferred); denied
+     * due retries stay queued. Null admits everything (the default).
+     */
+    void setAdmission(MoveAdmission *admission) { admission_ = admission; }
 
     /**
      * Abandon every pending retry (safe-mode entry): each queued move
@@ -162,6 +188,7 @@ class ControlAgent
     ReplayDb *db_;
     ControlAgentConfig config_;
     util::Watchdog *watchdog_ = nullptr;
+    MoveAdmission *admission_ = nullptr;
     Rng rng_;
     std::deque<Pending> pending_;
     uint64_t totalMoves_ = 0;
@@ -176,6 +203,7 @@ class ControlAgent
     util::Counter *requeuedMetric_;
     util::Counter *abandonedMetric_;
     util::Counter *cancelledMetric_;
+    util::Counter *deferredMetric_;
     util::Counter *supersededMetric_;
     util::Counter *retriesMetric_;
     util::Counter *bytesMetric_;

@@ -20,6 +20,8 @@ Geomancy::Geomancy(storage::StorageSystem &system,
 {
     if (managedFiles_.empty())
         panic("Geomancy: no managed files");
+    if (config_.observeOnlyManaged)
+        managedSet_.insert(managedFiles_.begin(), managedFiles_.end());
     db_ = std::make_unique<ReplayDb>(db_path);
     daemon_ = std::make_unique<InterfaceDaemon>(*db_, config_.daemon);
     engine_ = std::make_unique<DrlEngine>(config_.drl);
@@ -54,6 +56,11 @@ Geomancy::Geomancy(storage::StorageSystem &system,
     // system *did* — the injector rewrites the observation in flight
     // (and may echo it, modeling a double delivery).
     system_.onAccess([this](const storage::AccessObservation &obs) {
+        // Sharded: ignore co-tenant traffic so this shard's model
+        // trains only on files it manages (monolithic runs keep the
+        // whole-substrate view).
+        if (!managedSet_.empty() && managedSet_.count(obs.file) == 0)
+            return;
         storage::AccessObservation seen = obs;
         bool emit_duplicate = false;
         if (storage::FaultInjector *injector = system_.faultInjector())

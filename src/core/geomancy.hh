@@ -16,6 +16,7 @@
 #define GEO_CORE_GEOMANCY_HH
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/action_checker.hh"
@@ -65,6 +66,12 @@ struct GeomancyConfig
     SchedulerConfig scheduler;
     /** Control-agent chunking and retry policy. */
     ControlAgentConfig control;
+    /** Only feed accesses to *managed* files into the monitoring
+     *  agents. Off by default (a monolithic optimizer observes the
+     *  whole substrate, byte-identical to every prior release); the
+     *  shard coordinator turns it on so co-tenant shards don't train
+     *  on each other's traffic. */
+    bool observeOnlyManaged = false;
     /** Telemetry quarantine, decision deadlines and safe mode. With
      *  the default knobs (budgets disabled) this is recording-only:
      *  clean runs are byte-identical to a guardrail-free build. */
@@ -176,6 +183,7 @@ class Geomancy
   private:
     storage::StorageSystem &system_;
     std::vector<storage::FileId> managedFiles_;
+    std::unordered_set<storage::FileId> managedSet_; ///< observe filter
     GeomancyConfig config_;
     Rng rng_;
 

@@ -253,6 +253,15 @@ Guardrails::exitSafeMode(uint64_t cycle)
                       clock_.now());
 }
 
+bool
+Guardrails::tripSafeMode(uint64_t cycle)
+{
+    if (!config_.enabled || safeMode_)
+        return false;
+    enterSafeMode(cycle);
+    return true;
+}
+
 GuardrailTransition
 Guardrails::observeCycle(const CycleEvidence &evidence)
 {

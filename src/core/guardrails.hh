@@ -220,6 +220,16 @@ class Guardrails
      */
     GuardrailTransition observeCycle(const CycleEvidence &evidence);
 
+    /**
+     * Externally-forced safe-mode entry — the shard coordinator's
+     * global fan-out: a substrate-level fault tripping one shard's
+     * guardrails trips every co-tenant coherently, instead of each
+     * shard discovering the fault on its own schedule. No-op (returns
+     * false) when already in safe mode or when disabled; otherwise the
+     * layout freezes exactly as for an organic trip, probes and all.
+     */
+    bool tripSafeMode(uint64_t cycle);
+
     uint64_t safeModeEntries() const { return safeModeEntries_; }
     uint64_t safeModeExits() const { return safeModeExits_; }
     uint64_t backoffLevel() const { return backoffLevel_; }

@@ -17,6 +17,30 @@ usageOf(const PolicyContext &context, storage::FileId file)
     return it == context.usage.end() ? FileUsage{} : it->second;
 }
 
+/**
+ * Devices a baseline may target right now, mirroring the Action
+ * Checker's validity rules for Geomancy: offline, read-only or
+ * degraded below half health are skipped (per-file capacity stays
+ * with moveFile itself). Without this the fastest-first grouping
+ * keeps assigning files to a mount the fault injector took down,
+ * wasting every one of those moves.
+ */
+std::vector<storage::DeviceId>
+usableDevices(const PolicyContext &context,
+              const std::vector<storage::DeviceId> &devices)
+{
+    std::vector<storage::DeviceId> usable;
+    usable.reserve(devices.size());
+    for (storage::DeviceId id : devices) {
+        const storage::StorageDevice &dev = context.system.device(id);
+        if (!dev.available() || !dev.writable() ||
+            dev.healthFactor() < 0.5)
+            continue;
+        usable.push_back(id);
+    }
+    return usable;
+}
+
 } // namespace
 
 size_t
@@ -26,7 +50,10 @@ GroupedHeuristicPolicy::rebalance(PolicyContext &context)
         return 0;
 
     std::vector<storage::FileId> files = context.files;
-    std::vector<storage::DeviceId> devices = context.devicesFastestFirst;
+    std::vector<storage::DeviceId> devices =
+        usableDevices(context, context.devicesFastestFirst);
+    if (devices.empty())
+        return 0; // every device offline/degraded: hold the layout
     orderFiles(files, devices, context);
 
     // Group boundaries: even split by default (files that do not
@@ -123,13 +150,17 @@ RandomPolicy::rebalance(PolicyContext &context)
         return 0;
     placed_ = true;
     size_t moved = 0;
-    size_t device_count = context.system.deviceCount();
-    if (device_count == 0)
+    // Draw over the usable devices only; with every device healthy the
+    // list equals the full set, so fault-free runs consume the RNG
+    // stream exactly as before.
+    std::vector<storage::DeviceId> usable =
+        usableDevices(context, context.system.deviceIds());
+    if (usable.empty())
         return 0;
     for (storage::FileId file : context.files) {
-        storage::DeviceId target =
-            static_cast<storage::DeviceId>(context.rng.uniformInt(
-                0, static_cast<int64_t>(device_count) - 1));
+        storage::DeviceId target = usable[static_cast<size_t>(
+            context.rng.uniformInt(
+                0, static_cast<int64_t>(usable.size()) - 1))];
         if (context.system.location(file) != target) {
             if (context.system.moveFile(file, target).moved)
                 ++moved;
@@ -179,6 +210,28 @@ GeomancyDynamicPolicy::rebalance(PolicyContext &context)
     (void)context; // Geomancy consults its own ReplayDB
     lastReport_ = geomancy_.runCycle();
     return lastReport_.moves.applied;
+}
+
+ShardedGeomancyPolicy::ShardedGeomancyPolicy(ShardCoordinator &coordinator)
+    : coordinator_(coordinator)
+{
+}
+
+std::string
+ShardedGeomancyPolicy::name() const
+{
+    return strprintf("Geomancy x%zu shards", coordinator_.shardCount());
+}
+
+size_t
+ShardedGeomancyPolicy::rebalance(PolicyContext &context)
+{
+    (void)context; // every shard consults its own ReplayDB
+    lastReports_ = coordinator_.runRound();
+    size_t applied = 0;
+    for (const CycleReport &report : lastReports_)
+        applied += report.moves.applied;
+    return applied;
 }
 
 GeomancyStaticPolicy::GeomancyStaticPolicy(Geomancy &geomancy)

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/geomancy.hh"
+#include "core/shard_coordinator.hh"
 #include "storage/system.hh"
 #include "util/random.hh"
 
@@ -204,6 +205,31 @@ class GeomancyDynamicPolicy : public PlacementPolicy
   private:
     Geomancy &geomancy_;
     CycleReport lastReport_;
+};
+
+/**
+ * Fleet-scale Geomancy: one coordinator round — a decision cycle on
+ * every shard, under the cross-shard admission budgets — at every
+ * rebalance point.
+ */
+class ShardedGeomancyPolicy : public PlacementPolicy
+{
+  public:
+    /** @param coordinator attached to the same target system. */
+    explicit ShardedGeomancyPolicy(ShardCoordinator &coordinator);
+
+    std::string name() const override;
+    size_t rebalance(PolicyContext &context) override;
+
+    /** Most recent round's per-shard reports. */
+    const std::vector<CycleReport> &lastReports() const
+    {
+        return lastReports_;
+    }
+
+  private:
+    ShardCoordinator &coordinator_;
+    std::vector<CycleReport> lastReports_;
 };
 
 /**

@@ -56,14 +56,15 @@ FlightRecorder::record(FlightKind kind, double sim_time, uint64_t a0,
     uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
     Slot &slot = slots_[seq % kCapacity];
     // Invalidate first so a concurrent dump never emits a half-new
-    // half-old line; the payload stores may still race with a reader,
-    // but the final stamp mismatch makes it skip the slot.
+    // half-old line; the payload stores may still interleave with a
+    // racing writer or reader, but the final stamp mismatch makes
+    // readers skip the slot.
     slot.stamp.store(0, std::memory_order_release);
-    slot.sim = sim_time;
-    slot.a0 = a0;
-    slot.a1 = a1;
-    slot.a2 = a2;
-    slot.kind = kind;
+    slot.sim.store(sim_time, std::memory_order_relaxed);
+    slot.a0.store(a0, std::memory_order_relaxed);
+    slot.a1.store(a1, std::memory_order_relaxed);
+    slot.a2.store(a2, std::memory_order_relaxed);
+    slot.kind.store(kind, std::memory_order_relaxed);
     slot.stamp.store(seq + 1, std::memory_order_release);
 }
 
@@ -87,11 +88,11 @@ FlightRecorder::snapshot() const
             continue; // torn or already overwritten
         FlightEvent event;
         event.seq = seq;
-        event.sim = slot.sim;
-        event.a0 = slot.a0;
-        event.a1 = slot.a1;
-        event.a2 = slot.a2;
-        event.kind = slot.kind;
+        event.sim = slot.sim.load(std::memory_order_relaxed);
+        event.a0 = slot.a0.load(std::memory_order_relaxed);
+        event.a1 = slot.a1.load(std::memory_order_relaxed);
+        event.a2 = slot.a2.load(std::memory_order_relaxed);
+        event.kind = slot.kind.load(std::memory_order_relaxed);
         if (slot.stamp.load(std::memory_order_acquire) != seq + 1)
             continue; // overwritten while copying
         out.push_back(event);
@@ -133,11 +134,14 @@ FlightRecorder::dumpTo(int fd) const
         const Slot &slot = slots_[seq % kCapacity];
         if (slot.stamp.load(std::memory_order_acquire) != seq + 1)
             continue;
-        len = std::snprintf(line, sizeof line,
-                            "%" PRIu64 " %.6f %s %" PRIu64 " %" PRIu64
-                            " %" PRIu64 "\n",
-                            seq, slot.sim, flightKindName(slot.kind),
-                            slot.a0, slot.a1, slot.a2);
+        len = std::snprintf(
+            line, sizeof line,
+            "%" PRIu64 " %.6f %s %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+            seq, slot.sim.load(std::memory_order_relaxed),
+            flightKindName(slot.kind.load(std::memory_order_relaxed)),
+            slot.a0.load(std::memory_order_relaxed),
+            slot.a1.load(std::memory_order_relaxed),
+            slot.a2.load(std::memory_order_relaxed));
         if (slot.stamp.load(std::memory_order_acquire) != seq + 1)
             continue; // overwritten while formatting: drop the line
         if (len < 0 || ::write(fd, line, static_cast<size_t>(len)) != len)

@@ -6,7 +6,7 @@
  * points, safe-mode entry.
  *
  * Recording discipline mirrors the metric registry: record() is one
- * relaxed fetch_add plus a handful of plain stores into a fixed-size
+ * relaxed fetch_add plus a handful of relaxed stores into a fixed-size
  * slot array — no locks, no allocation, no clock reads (callers pass
  * the sim timestamp they already have). The ring overwrites oldest
  * entries, so the recorder always holds the most recent kCapacity
@@ -152,11 +152,17 @@ class FlightRecorder
         /** 0 = never written; otherwise seq+1 of the event it holds.
          *  Stored last (release) so readers can detect torn writes. */
         std::atomic<uint64_t> stamp{0};
-        double sim = 0.0;
-        uint64_t a0 = 0;
-        uint64_t a1 = 0;
-        uint64_t a2 = 0;
-        FlightKind kind = FlightKind::PhaseBegin;
+        /** Payload fields are relaxed atomics: once the ring wraps,
+         *  two writers whose sequence numbers are kCapacity apart can
+         *  land on the same slot concurrently, and readers race with
+         *  writers by design. The stamp protocol already discards
+         *  mixed payloads; the atomics make the accesses themselves
+         *  defined behavior. */
+        std::atomic<double> sim{0.0};
+        std::atomic<uint64_t> a0{0};
+        std::atomic<uint64_t> a1{0};
+        std::atomic<uint64_t> a2{0};
+        std::atomic<FlightKind> kind{FlightKind::PhaseBegin};
     };
 
     std::atomic<uint64_t> next_{0};

@@ -193,11 +193,57 @@ Histogram::reset()
     max_.store(0.0, std::memory_order_relaxed);
 }
 
+std::string
+MetricRegistry::scoped(const std::string &name) const
+{
+    if (scopes_.empty())
+        return name;
+    std::string out;
+    for (const std::string &prefix : scopes_)
+        out += prefix;
+    out += name;
+    return out;
+}
+
+void
+MetricRegistry::pushScope(const std::string &prefix)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    scopes_.push_back(prefix);
+}
+
+void
+MetricRegistry::popScope()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (scopes_.empty())
+        panic("MetricRegistry::popScope: no scope active");
+    scopes_.pop_back();
+}
+
+bool
+MetricRegistry::splitShardScope(const std::string &name,
+                                std::string &base, std::string &shard)
+{
+    static const std::string kPrefix = "shard";
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0)
+        return false;
+    size_t i = kPrefix.size();
+    size_t digits_begin = i;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9')
+        ++i;
+    if (i == digits_begin || i >= name.size() || name[i] != '.')
+        return false;
+    shard = name.substr(digits_begin, i - digits_begin);
+    base = name.substr(i + 1);
+    return !base.empty();
+}
+
 Counter &
 MetricRegistry::counter(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto &slot = counters_[name];
+    auto &slot = counters_[scoped(name)];
     if (!slot)
         slot = std::make_unique<Counter>();
     return *slot;
@@ -207,7 +253,7 @@ Gauge &
 MetricRegistry::gauge(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto &slot = gauges_[name];
+    auto &slot = gauges_[scoped(name)];
     if (!slot)
         slot = std::make_unique<Gauge>();
     return *slot;
@@ -217,7 +263,7 @@ Histogram &
 MetricRegistry::histogram(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto &slot = histograms_[name];
+    auto &slot = histograms_[scoped(name)];
     if (!slot)
         slot = std::make_unique<Histogram>();
     return *slot;
@@ -369,6 +415,54 @@ MetricRegistry::promEscapeLabel(const std::string &value)
     return out;
 }
 
+namespace {
+
+/** One exported sample: the shard label ("" = unsharded) + value. */
+template <typename V>
+struct PromSample
+{
+    std::string shard;
+    V value;
+};
+
+/** Group rows by base name so shard-scoped variants of one metric
+ *  share a single HELP/TYPE header and differ only in the `shard`
+ *  label (the exposition format forbids repeated headers). std::map
+ *  keeps bases sorted; per-base samples keep registry (sorted) order,
+ *  which sorts numerically for single-digit shard counts. */
+template <typename V>
+std::map<std::string, std::vector<PromSample<V>>>
+groupByBase(const std::vector<std::pair<std::string, V>> &rows)
+{
+    std::map<std::string, std::vector<PromSample<V>>> grouped;
+    for (const auto &[name, value] : rows) {
+        std::string base, shard;
+        if (!MetricRegistry::splitShardScope(name, base, shard)) {
+            base = name;
+            shard.clear();
+        }
+        grouped[base].push_back({shard, value});
+    }
+    return grouped;
+}
+
+/** `{shard="N"}` (or "" for unsharded), with extra labels appended. */
+std::string
+promLabels(const std::string &shard, const std::string &extra = {})
+{
+    std::string labels;
+    if (!shard.empty())
+        labels = "shard=\"" + MetricRegistry::promEscapeLabel(shard) +
+                 "\"";
+    if (!extra.empty())
+        labels += (labels.empty() ? "" : ",") + extra;
+    if (labels.empty())
+        return "";
+    return "{" + labels + "}";
+}
+
+} // namespace
+
 std::string
 MetricRegistry::toPrometheus() const
 {
@@ -380,29 +474,37 @@ MetricRegistry::toPrometheus() const
             << promEscapeHelp(helpFor(name)) << "\n"
             << "# TYPE " << prom << " " << type << "\n";
     };
-    auto quantile = [&](const std::string &prom, const char *q,
-                        double value) {
-        out << prom << "{quantile=\"" << promEscapeLabel(q) << "\"} "
-            << jsonNumber(value) << "\n";
-    };
-    for (const auto &[name, value] : counters()) {
-        std::string prom = promName(name);
-        header(name, prom, "counter");
-        out << prom << " " << value << "\n";
+    for (const auto &[base, samples] : groupByBase(counters())) {
+        std::string prom = promName(base);
+        header(base, prom, "counter");
+        for (const auto &s : samples)
+            out << prom << promLabels(s.shard) << " " << s.value << "\n";
     }
-    for (const auto &[name, value] : gauges()) {
-        std::string prom = promName(name);
-        header(name, prom, "gauge");
-        out << prom << " " << jsonNumber(value) << "\n";
+    for (const auto &[base, samples] : groupByBase(gauges())) {
+        std::string prom = promName(base);
+        header(base, prom, "gauge");
+        for (const auto &s : samples)
+            out << prom << promLabels(s.shard) << " "
+                << jsonNumber(s.value) << "\n";
     }
-    for (const auto &[name, snap] : histograms()) {
-        std::string prom = promName(name);
-        header(name, prom, "summary");
-        quantile(prom, "0.5", snap.p50);
-        quantile(prom, "0.95", snap.p95);
-        quantile(prom, "0.99", snap.p99);
-        out << prom << "_sum " << jsonNumber(snap.sum) << "\n";
-        out << prom << "_count " << snap.count << "\n";
+    for (const auto &[base, samples] : groupByBase(histograms())) {
+        std::string prom = promName(base);
+        header(base, prom, "summary");
+        for (const auto &s : samples) {
+            auto quantile = [&](const char *q, double value) {
+                out << prom
+                    << promLabels(s.shard, "quantile=\"" +
+                                               promEscapeLabel(q) + "\"")
+                    << " " << jsonNumber(value) << "\n";
+            };
+            quantile("0.5", s.value.p50);
+            quantile("0.95", s.value.p95);
+            quantile("0.99", s.value.p99);
+            out << prom << "_sum" << promLabels(s.shard) << " "
+                << jsonNumber(s.value.sum) << "\n";
+            out << prom << "_count" << promLabels(s.shard) << " "
+                << s.value.count << "\n";
+        }
     }
     return out.str();
 }

@@ -185,15 +185,62 @@ class MetricRegistry
     /** The process-wide registry every component records into. */
     static MetricRegistry &global();
 
+    /**
+     * Push a name prefix applied to every subsequent counter(),
+     * gauge() and histogram() resolution ("shard0." makes a component
+     * constructed under it resolve "shard0.control.moves_applied").
+     * Scopes nest by concatenation; setHelp() is never scoped (help
+     * text is shared by all shards of a metric). Use the RAII
+     * MetricScope guard instead of calling these directly.
+     */
+    void pushScope(const std::string &prefix);
+    void popScope();
+
+    /**
+     * Split a shard-scoped name: "shard3.control.moves_applied" fills
+     * base = "control.moves_applied", shard = "3" and returns true.
+     * Names without a "shard<digits>." prefix return false. The
+     * Prometheus exporter uses this to turn the per-shard name prefix
+     * into a proper `shard` label.
+     */
+    static bool splitShardScope(const std::string &name,
+                                std::string &base, std::string &shard);
+
   private:
     mutable std::mutex mutex_; ///< guards the maps, never the metrics
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
     std::map<std::string, std::string> help_; ///< HELP text by name
+    std::vector<std::string> scopes_; ///< active prefixes, innermost last
+
+    /** `name` under the active scope (mutex_ must be held). */
+    std::string scoped(const std::string &name) const;
 
     /** Registered help for `name`, or a generated fallback. */
     std::string helpFor(const std::string &name) const;
+};
+
+/**
+ * RAII metric scope: components constructed while the guard is alive
+ * resolve their handles under `prefix` (the shard coordinator labels
+ * each shard's pipeline this way). Recording through already-resolved
+ * handles is unaffected — the scope only matters at resolution time.
+ */
+class MetricScope
+{
+  public:
+    MetricScope(MetricRegistry &registry, const std::string &prefix)
+        : registry_(registry)
+    {
+        registry_.pushScope(prefix);
+    }
+    ~MetricScope() { registry_.popScope(); }
+    MetricScope(const MetricScope &) = delete;
+    MetricScope &operator=(const MetricScope &) = delete;
+
+  private:
+    MetricRegistry &registry_;
 };
 
 } // namespace util

@@ -28,25 +28,66 @@ Belle2Workload::Belle2Workload(
               config_.minRepeats, config_.maxRepeats);
     if (initial_layout.empty())
         panic("Belle2Workload: empty initial layout");
+    if (config_.tenantCount == 0)
+        panic("Belle2Workload: tenantCount must be >= 1");
+    // Independent per-tenant streams (golden-ratio increments) keep a
+    // tenant's trace a pure function of (seed, tenant index): a shard
+    // replays its tenants byte-identically no matter how many
+    // co-tenants the fleet run added.
+    tenantRngs_.reserve(config_.tenantCount - 1);
+    for (size_t t = 1; t < config_.tenantCount; ++t)
+        tenantRngs_.emplace_back(config_.seed +
+                                 t * 0x9E3779B97F4A7C15ULL);
     createFiles(initial_layout);
+}
+
+Rng &
+Belle2Workload::tenantRng(size_t tenant)
+{
+    return tenant == 0 ? rng_ : tenantRngs_[tenant - 1];
+}
+
+std::vector<storage::FileId>
+Belle2Workload::tenantFiles(size_t tenant) const
+{
+    if (tenant >= config_.tenantCount)
+        panic("Belle2Workload: tenant %zu out of range (%zu tenants)",
+              tenant, config_.tenantCount);
+    auto begin = files_.begin() +
+                 static_cast<ptrdiff_t>(tenant * config_.fileCount);
+    return std::vector<storage::FileId>(
+        begin, begin + static_cast<ptrdiff_t>(config_.fileCount));
 }
 
 void
 Belle2Workload::createFiles(const std::vector<storage::DeviceId> &layout)
 {
-    files_.reserve(config_.fileCount);
-    for (size_t i = 0; i < config_.fileCount; ++i) {
-        // Log-uniform sizes span the paper's 583 KB - 1.1 GB range with
-        // a realistic mix of small and large ROOT files.
-        double lo = std::log(static_cast<double>(config_.minFileBytes));
-        double hi = std::log(static_cast<double>(config_.maxFileBytes));
-        uint64_t size =
-            static_cast<uint64_t>(std::exp(rng_.uniform(lo, hi)));
-        size = std::clamp(size, config_.minFileBytes, config_.maxFileBytes);
-        std::string name =
-            strprintf("%s/run%02zu.root", config_.namePrefix.c_str(), i);
-        storage::DeviceId device = layout[i % layout.size()];
-        files_.push_back(system_.addFile(name, size, device));
+    files_.reserve(config_.fileCount * config_.tenantCount);
+    size_t global = 0;
+    for (size_t t = 0; t < config_.tenantCount; ++t) {
+        Rng &rng = tenantRng(t);
+        for (size_t i = 0; i < config_.fileCount; ++i, ++global) {
+            // Log-uniform sizes span the paper's 583 KB - 1.1 GB range
+            // with a realistic mix of small and large ROOT files.
+            double lo =
+                std::log(static_cast<double>(config_.minFileBytes));
+            double hi =
+                std::log(static_cast<double>(config_.maxFileBytes));
+            uint64_t size =
+                static_cast<uint64_t>(std::exp(rng.uniform(lo, hi)));
+            size = std::clamp(size, config_.minFileBytes,
+                              config_.maxFileBytes);
+            // Single-tenant keeps the historical names (and with them
+            // every pinned digest); multi-tenant namespaces per tenant.
+            std::string name =
+                config_.tenantCount == 1
+                    ? strprintf("%s/run%02zu.root",
+                                config_.namePrefix.c_str(), i)
+                    : strprintf("%s/t%03zu/run%02zu.root",
+                                config_.namePrefix.c_str(), t, i);
+            storage::DeviceId device = layout[global % layout.size()];
+            files_.push_back(system_.addFile(name, size, device));
+        }
     }
 }
 
@@ -54,22 +95,28 @@ std::vector<AccessEvent>
 Belle2Workload::nextRun()
 {
     std::vector<AccessEvent> events;
-    // Sequential pass over the suite; each file is read 10-20 times in
-    // succession (the looping scan the paper describes).
-    for (storage::FileId file : files_) {
-        size_t repeats = static_cast<size_t>(rng_.uniformInt(
-            static_cast<int64_t>(config_.minRepeats),
-            static_cast<int64_t>(config_.maxRepeats)));
-        uint64_t size = system_.file(file).sizeBytes;
-        for (size_t r = 0; r < repeats; ++r) {
-            AccessEvent ev;
-            ev.file = file;
-            double span = rng_.uniform(config_.minSpan, config_.maxSpan);
-            ev.bytes = std::max<uint64_t>(
-                1, static_cast<uint64_t>(
-                       span * static_cast<double>(size)));
-            ev.isRead = rng_.chance(config_.readFraction);
-            events.push_back(ev);
+    // Sequential pass over every tenant's suite in tenant order; each
+    // file is read 10-20 times in succession (the looping scan the
+    // paper describes). Each tenant consumes only its own RNG stream.
+    for (size_t t = 0; t < config_.tenantCount; ++t) {
+        Rng &rng = tenantRng(t);
+        for (size_t i = 0; i < config_.fileCount; ++i) {
+            storage::FileId file = files_[t * config_.fileCount + i];
+            size_t repeats = static_cast<size_t>(rng.uniformInt(
+                static_cast<int64_t>(config_.minRepeats),
+                static_cast<int64_t>(config_.maxRepeats)));
+            uint64_t size = system_.file(file).sizeBytes;
+            for (size_t r = 0; r < repeats; ++r) {
+                AccessEvent ev;
+                ev.file = file;
+                double span =
+                    rng.uniform(config_.minSpan, config_.maxSpan);
+                ev.bytes = std::max<uint64_t>(
+                    1, static_cast<uint64_t>(
+                           span * static_cast<double>(size)));
+                ev.isRead = rng.chance(config_.readFraction);
+                events.push_back(ev);
+            }
         }
     }
     return events;
@@ -100,8 +147,12 @@ Belle2Workload::executeRunConcurrent()
 void
 Belle2Workload::saveState(util::StateWriter &w) const
 {
+    // Tenant 0 keeps the historical keys so single-tenant checkpoints
+    // stay byte-identical across releases; extra tenants append.
     w.rng("belle2.rng", rng_);
     w.u64("belle2.runs", runs_);
+    for (const Rng &rng : tenantRngs_)
+        w.rng("belle2.trng", rng);
 }
 
 void
@@ -109,9 +160,15 @@ Belle2Workload::loadState(util::StateReader &r)
 {
     Rng::State rng = r.rng("belle2.rng");
     uint64_t runs = r.u64("belle2.runs");
+    std::vector<Rng::State> tenants;
+    tenants.reserve(tenantRngs_.size());
+    for (size_t t = 0; t < tenantRngs_.size(); ++t)
+        tenants.push_back(r.rng("belle2.trng"));
     if (!r.ok())
         return;
     rng_.setState(rng);
+    for (size_t t = 0; t < tenantRngs_.size(); ++t)
+        tenantRngs_[t].setState(tenants[t]);
     runs_ = runs;
 }
 

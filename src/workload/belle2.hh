@@ -38,6 +38,13 @@ struct Belle2Config
     double maxSpan = 0.60;
     std::string namePrefix = "belle2/mc/evtgen";
     uint64_t seed = 1234;
+    /** Co-tenant suites sharing the substrate (fleet scale-out): each
+     *  tenant owns its own `fileCount` files and an independent RNG
+     *  stream (seed + t * golden ratio), so shards replay their
+     *  tenants identically regardless of how many others exist. 1 =
+     *  the paper's single-suite workload, byte-identical to every
+     *  prior release. */
+    size_t tenantCount = 1;
 };
 
 /**
@@ -61,8 +68,15 @@ class Belle2Workload
                    const Belle2Config &config,
                    const std::vector<storage::DeviceId> &initial_layout);
 
-    /** File ids owned by this workload (always `config.fileCount`). */
+    /** File ids owned by this workload, all tenants concatenated
+     *  (`config.fileCount * config.tenantCount` entries). */
     const std::vector<storage::FileId> &files() const { return files_; }
+
+    /** Tenants in the suite. */
+    size_t tenantCount() const { return config_.tenantCount; }
+
+    /** File ids of one tenant (`config.fileCount` entries). */
+    std::vector<storage::FileId> tenantFiles(size_t tenant) const;
 
     /**
      * Generate the access sequence of one run: a full sequential pass,
@@ -98,10 +112,12 @@ class Belle2Workload
   private:
     storage::StorageSystem &system_;
     Belle2Config config_;
-    Rng rng_;
+    Rng rng_;                     ///< tenant 0 (the legacy stream)
+    std::vector<Rng> tenantRngs_; ///< tenants 1..T-1
     std::vector<storage::FileId> files_;
     size_t runs_ = 0;
 
+    Rng &tenantRng(size_t tenant);
     void createFiles(const std::vector<storage::DeviceId> &layout);
 };
 

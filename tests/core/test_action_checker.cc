@@ -49,6 +49,23 @@ TEST(ActionChecker, SelectsHighestPredictedMove)
     EXPECT_NEAR(move->predictedGain, 2.0, 1e-9);
 }
 
+TEST(ActionChecker, TiedScoresPickLowestDeviceId)
+{
+    auto system = storage::makeBlueskySystem();
+    storage::FileId file = system->addFile("f", 1000, 0);
+    ActionChecker checker(*system);
+    Rng rng(7);
+    // Two devices tie on predicted throughput, the higher id listed
+    // first.  The argmax must pin to the lowest device id, so shard
+    // partitioning (which can reorder candidate lists) cannot change
+    // the selected move.
+    auto move = checker.selectMove(
+        file, scores({{0, 100.0}, {3, 300.0}, {2, 300.0}}), rng);
+    ASSERT_TRUE(move.has_value());
+    EXPECT_EQ(move->to, 2u);
+    EXPECT_FALSE(move->random);
+}
+
 TEST(ActionChecker, StayPutWhenCurrentBest)
 {
     auto system = storage::makeBlueskySystem();

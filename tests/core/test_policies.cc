@@ -167,6 +167,46 @@ TEST(NoOpPolicy, NeverMoves)
     EXPECT_EQ(fx.system.layout(), layout);
 }
 
+TEST(GroupedPolicy, SkipsOfflineAndDegradedDevices)
+{
+    Fixture fx;
+    // Device 0 (fastest) down, device 1 degraded below half health:
+    // every file must land on device 2, the only usable target.
+    fx.system.device(0).setOffline(true);
+    fx.system.device(1).setHealthFactor(0.3);
+    LruPolicy policy;
+    PolicyContext ctx = fx.context();
+    policy.rebalance(ctx);
+    for (storage::FileId file : fx.files)
+        EXPECT_EQ(fx.system.location(file), 2u);
+}
+
+TEST(GroupedPolicy, AllDevicesDownHoldsLayout)
+{
+    Fixture fx;
+    for (storage::DeviceId d : fx.system.deviceIds())
+        fx.system.device(d).setOffline(true);
+    auto layout = fx.system.layout();
+    LruPolicy policy;
+    PolicyContext ctx = fx.context();
+    EXPECT_EQ(policy.rebalance(ctx), 0u);
+    EXPECT_EQ(fx.system.layout(), layout);
+}
+
+TEST(RandomPolicy, SkipsOfflineAndReadOnlyDevices)
+{
+    Fixture fx;
+    fx.system.device(0).setOffline(true);
+    fx.system.device(1).setWritable(false);
+    RandomPolicy policy(/*dynamic=*/true);
+    for (int i = 0; i < 3; ++i) {
+        PolicyContext ctx = fx.context();
+        policy.rebalance(ctx);
+        for (storage::FileId file : fx.files)
+            EXPECT_EQ(fx.system.location(file), 2u);
+    }
+}
+
 TEST(Policies, NamesDistinct)
 {
     EXPECT_EQ(LruPolicy().name(), "LRU");

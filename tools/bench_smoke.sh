@@ -40,6 +40,10 @@ if doc.get("schema") != "geo-perf-2":
     fail(f"unexpected schema {doc.get('schema')!r}")
 if not isinstance(doc.get("threads"), int) or doc["threads"] < 1:
     fail("threads must be a positive integer")
+if not isinstance(doc.get("hw_concurrency"), int) or \
+        doc["hw_concurrency"] < 1:
+    fail("hw_concurrency must be a positive integer (perf_diff uses it "
+         "to skip scaling deltas on single-core machines)")
 
 gemm = doc.get("gemm")
 if not isinstance(gemm, list) or not gemm:
@@ -298,6 +302,66 @@ print("bench_smoke: fig9 chaos soak OK "
 EOF
 else
     echo "bench_smoke.sh: ${soak} not built, skipping chaos gate" >&2
+fi
+
+scale="${build_dir}/bench/fig10_scale_out"
+if [[ -x "${scale}" ]]; then
+    scale_dir="$(mktemp -d /tmp/geo_fig10_smoke.XXXXXX)"
+    trap 'rm -f "${out}"; rm -rf "${scale_dir}"' EXIT
+
+    echo "== running fig10 scale-out (quick, 3 rounds) =="
+    # The harness exits nonzero unless the 4-shard fleet reaches >= 2x
+    # the monolith's aggregate optimizer throughput with the per-device
+    # budgets intact and a byte-identical same-seed twin; the gauges it
+    # emits are additionally schema-validated below.
+    (cd "${scale_dir}" && \
+        GEO_FIG10_ROUNDS=3 GEO_FIG10_TENANTS=4 \
+        GEO_METRICS_OUT="${scale_dir}/fig10.json" \
+        "${scale}")
+
+    echo "== validating ${scale_dir}/fig10.json =="
+    python3 - "${scale_dir}/fig10.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+def fail(message):
+    print(f"bench_smoke: {message}", file=sys.stderr)
+    sys.exit(1)
+
+if doc.get("schema") != "geo-metrics-1":
+    fail(f"unexpected metrics schema {doc.get('schema')!r}")
+gauges = doc.get("gauges")
+if not isinstance(gauges, dict):
+    fail("metrics snapshot missing gauges object")
+
+if gauges.get("fig10.scenarios", 0) < 3:
+    fail(f"expected >= 3 shard-count scenarios, "
+         f"got {gauges.get('fig10.scenarios')}")
+for shards in (1, 2, 4):
+    prefix = f"fig10.shards{shards}."
+    for key in ("cycles_per_sec", "mean_cycle_ms", "applied", "denied",
+                "peak_device_moves"):
+        if prefix + key not in gauges:
+            fail(f"gauge {prefix}{key} missing")
+    if gauges[prefix + "cycles_per_sec"] <= 0:
+        fail(f"{prefix}cycles_per_sec must be positive")
+if gauges.get("fig10.speedup_4v1", 0) < 2.0:
+    fail(f"4-shard speedup {gauges.get('fig10.speedup_4v1')} below the "
+         "2x gate")
+if gauges.get("fig10.twin_identical", 0) != 1:
+    fail("same-seed 4-shard twin diverged")
+if gauges.get("fig10.budget_ok", 0) != 1:
+    fail("a per-device admission budget was exceeded")
+
+print("bench_smoke: fig10 scale-out OK "
+      f"(speedup {gauges['fig10.speedup_4v1']:.2f}x at 4 shards, "
+      "budgets held, twin identical)")
+EOF
+else
+    echo "bench_smoke.sh: ${scale} not built, skipping scale-out gate" >&2
 fi
 
 echo "== bench_smoke.sh: OK =="

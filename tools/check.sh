@@ -135,7 +135,7 @@ cmake --build "${tsan_dir}" -j "${jobs}"
 echo "== running the concurrency subset under TSan =="
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
-    -R 'ThreadPool|Watchdog|CancelToken|Metric|Trace|Logging|Parallel|Concurrent|Batched|Guardrails|Flight'
+    -R 'ThreadPool|Watchdog|CancelToken|Metric|Trace|Logging|Parallel|Concurrent|Batched|Guardrails|Flight|ShardCoordinator'
 
 echo "== check.sh: concurrency subset clean under thread sanitizer =="
 

@@ -98,6 +98,8 @@ struct Options
     int maxRestarts = 0;         ///< >0 runs under the supervisor
     std::string ledgerPath;      ///< decision audit ledger (NDJSON)
     std::string flightDumpDir;   ///< flight-recorder dump directory
+    size_t shards = 0;           ///< >0: shard coordinator (geomancy)
+    size_t tenants = 1;          ///< workload tenant multiplier
 };
 
 void
@@ -144,6 +146,12 @@ usage()
         "  --flight-dump-dir DIR dump the flight-recorder ring there\n"
         "                        on fatal signals, kill points and\n"
         "                        safe-mode entry\n"
+        "  --shards N      run N Geomancy shards under the fleet\n"
+        "                  coordinator (policy geomancy only); files\n"
+        "                  partition by stable hash, per-device\n"
+        "                  migration budgets apply across shards\n"
+        "  --tenants N     multiply the workload: N co-tenant BELLE II\n"
+        "                  suites with independent seeds (default 1)\n"
         "  --quiet         suppress warnings\n";
 }
 
@@ -198,6 +206,10 @@ parse(int argc, char **argv, Options &options)
             options.ledgerPath = next("--ledger-out");
         else if (arg == "--flight-dump-dir")
             options.flightDumpDir = next("--flight-dump-dir");
+        else if (arg == "--shards")
+            options.shards = std::stoull(next("--shards"));
+        else if (arg == "--tenants")
+            options.tenants = std::stoull(next("--tenants"));
         else if (arg == "--scheduler")
             options.scheduler = true;
         else if (arg == "--faults")
@@ -270,13 +282,21 @@ runOnce(const Options &options, int attempt, bool resume)
             // The hot journal must go with the database: a stale
             // rollback journal next to a fresh file would be replayed
             // into it on open.
-            for (const char *suffix : {"", "-journal", "-wal", "-shm"})
+            for (const char *suffix : {"", "-journal", "-wal", "-shm"}) {
                 std::filesystem::remove(db_path + suffix, ec);
+                for (size_t s = 0; s < options.shards; ++s)
+                    std::filesystem::remove(
+                        core::ShardCoordinator::dbPath(db_path, s) +
+                            suffix,
+                        ec);
+            }
         }
     }
 
     auto system = storage::makeBlueskySystem(options.seed);
-    workload::Belle2Workload workload(*system);
+    workload::Belle2Config wconfig;
+    wconfig.tenantCount = std::max<size_t>(1, options.tenants);
+    workload::Belle2Workload workload(*system, wconfig);
 
     std::unique_ptr<storage::FaultInjector> injector;
     // Checkpointing always constructs the injector (harmless with an
@@ -390,10 +410,35 @@ runOnce(const Options &options, int attempt, bool resume)
     gconfig.drl.epochs = options.epochs;
     gconfig.useScheduler = options.scheduler;
     std::unique_ptr<core::Geomancy> geomancy;
+    std::unique_ptr<core::ShardCoordinator> coordinator;
     std::unique_ptr<core::PlacementPolicy> policy;
 
     const std::string &name = options.policy;
-    if (name == "geomancy" || name == "geomancy-static") {
+    if (options.shards > 0 && name != "geomancy")
+        fatal("--shards requires --policy geomancy");
+    if (options.shards > 0) {
+        core::ShardCoordinatorConfig ccfg;
+        ccfg.shardCount = options.shards;
+        ccfg.base = gconfig;
+        coordinator = std::make_unique<core::ShardCoordinator>(
+            *system, workload.files(), ccfg, db_path);
+        if (!options.ledgerPath.empty()) {
+            // Per-shard ledgers: <path>.shard<i>. Fresh runs drop the
+            // previous run's files; resumes keep them — loadState
+            // truncates each back to the checkpoint cut.
+            if (!resume) {
+                std::error_code ec;
+                for (size_t s = 0; s < options.shards; ++s)
+                    std::filesystem::remove(
+                        core::ShardCoordinator::ledgerPath(
+                            options.ledgerPath, s),
+                        ec);
+            }
+            coordinator->attachLedgers(options.ledgerPath);
+        }
+        policy =
+            std::make_unique<core::ShardedGeomancyPolicy>(*coordinator);
+    } else if (name == "geomancy" || name == "geomancy-static") {
         geomancy = std::make_unique<core::Geomancy>(
             *system, workload.files(), gconfig, db_path);
         if (!options.ledgerPath.empty()) {
@@ -441,7 +486,9 @@ runOnce(const Options &options, int attempt, bool resume)
     // One consistent cut: the pipeline (or bare system), the injector,
     // the workload cursor and the runner's progress, in a fixed order.
     auto writeSnapshot = [&](util::StateWriter &w) {
-        if (geomancy)
+        if (coordinator)
+            coordinator->saveState(w);
+        else if (geomancy)
             geomancy->saveState(w);
         else
             system->saveState(w);
@@ -458,7 +505,9 @@ runOnce(const Options &options, int attempt, bool resume)
         if (manager->loadLatest(header, payload, &path)) {
             std::istringstream is(payload);
             util::StateReader r(is);
-            if (geomancy)
+            if (coordinator)
+                coordinator->loadState(r);
+            else if (geomancy)
                 geomancy->loadState(r);
             else
                 system->loadState(r);
@@ -474,8 +523,14 @@ runOnce(const Options &options, int attempt, bool resume)
                       "configuration: %s", path.c_str(),
                       r.error().c_str());
             }
-            if (geomancy)
+            if (coordinator) {
+                for (size_t s = 0; s < coordinator->shardCount(); ++s)
+                    coordinator->shard(s)
+                        .controlAgent()
+                        .restorePending();
+            } else if (geomancy) {
                 geomancy->controlAgent().restorePending();
+            }
             double ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - started)
                             .count();
@@ -492,8 +547,12 @@ runOnce(const Options &options, int attempt, bool resume)
             warn("no usable checkpoint under %s; starting fresh",
                  options.checkpointDir.c_str());
             manager->clear();
-            if (geomancy)
+            if (coordinator) {
+                for (size_t s = 0; s < coordinator->shardCount(); ++s)
+                    coordinator->shard(s).replayDb().rewindTo({});
+            } else if (geomancy) {
                 geomancy->replayDb().rewindTo({});
+            }
         }
     }
 

@@ -154,15 +154,27 @@ def main():
         diff.compare("ledger_overhead.with_ms",
                      section(base, "ledger_overhead").get("with_ms"),
                      section(cur, "ledger_overhead").get("with_ms"))
-        base_scaling = {s.get("workers"): s
-                        for s in base.get("model_search_scaling", [])}
-        cur_scaling = {s.get("workers"): s
-                       for s in cur.get("model_search_scaling", [])}
-        for workers in sorted(set(base_scaling) & set(cur_scaling)):
-            diff.compare(f"model_search_scaling[{workers}].seconds",
-                         base_scaling[workers].get("seconds"),
-                         cur_scaling[workers].get("seconds"),
-                         scale_to_ms=1e3)
+        # Worker-scaling deltas are pure scheduler noise on a single
+        # hardware thread: every worker count serializes onto one core,
+        # so "speedup" is a coin flip.  Skip them when either snapshot
+        # reports hw_concurrency <= 1 (snapshots predating the field
+        # are compared as before).
+        cores = [doc.get("hw_concurrency") for doc in (base, cur)
+                 if isinstance(doc.get("hw_concurrency"), (int, float))]
+        if cores and min(cores) <= 1:
+            diff.skipped.append(
+                "model_search_scaling timings (single hardware thread: "
+                f"hw_concurrency={min(cores):.0f})")
+        else:
+            base_scaling = {s.get("workers"): s
+                            for s in base.get("model_search_scaling", [])}
+            cur_scaling = {s.get("workers"): s
+                           for s in cur.get("model_search_scaling", [])}
+            for workers in sorted(set(base_scaling) & set(cur_scaling)):
+                diff.compare(f"model_search_scaling[{workers}].seconds",
+                             base_scaling[workers].get("seconds"),
+                             cur_scaling[workers].get("seconds"),
+                             scale_to_ms=1e3)
     else:
         diff.skipped.append(
             "train/full_cycle/scaling/ledger timings (quick flags "
